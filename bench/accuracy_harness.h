@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared harness for the Table 4 / Table 5 accuracy reproductions:
+ * trains an original dense model on a synthetic task, then measures the
+ * deployed (hard-LUT) accuracy of (a) the baseline LUT-NN calibration
+ * (soft assignment, full training set, no reconstruction loss) and
+ * (b) eLUT-NN (hard assignment + STE + reconstruction loss, small
+ * calibration fraction), with every encoder linear layer replaced.
+ */
+
+#ifndef PIMDL_BENCH_ACCURACY_HARNESS_H
+#define PIMDL_BENCH_ACCURACY_HARNESS_H
+
+#include <string>
+
+#include "lutnn/elutnn.h"
+
+namespace pimdl {
+namespace bench {
+
+/** Accuracy results of one task under the three settings. */
+struct AccuracyRow
+{
+    std::string task;
+    float original = 0.0f;
+    float baseline_lutnn = 0.0f;
+    float elutnn = 0.0f;
+    /** Calibration samples eLUT-NN consumed / training-set size. */
+    float elutnn_data_fraction = 0.0f;
+};
+
+/** Hyper-parameters of one accuracy experiment. */
+struct AccuracyExperiment
+{
+    std::string task_name;
+    ClassifierConfig model;
+    SyntheticTaskConfig task;
+    TrainOptions train;
+    CalibrationOptions elutnn;
+    CalibrationOptions baseline;
+};
+
+/**
+ * Runs the three settings, branching the baseline and eLUT-NN models off
+ * the same pre-trained dense checkpoint (the paper's protocol: all
+ * settings start from the pre-trained weights; centroids initialize
+ * randomly, Section 6.2).
+ */
+inline AccuracyRow
+runAccuracyExperiment(const AccuracyExperiment &exp)
+{
+    AccuracyRow row;
+    row.task = exp.task_name;
+
+    const SyntheticTask task = makeSyntheticTask(exp.task);
+
+    // Pre-train the original dense model once.
+    TransformerClassifier original(exp.model);
+    row.original = trainDense(original, task, exp.train);
+
+    // Baseline LUT-NN from the same checkpoint.
+    {
+        TransformerClassifier model = original.cloneWeights();
+        CalibrationReport report =
+            calibrateBaselineLutNn(model, task, exp.baseline);
+        row.baseline_lutnn = report.accuracy_after;
+    }
+
+    // eLUT-NN from the same checkpoint.
+    {
+        TransformerClassifier model = original.cloneWeights();
+        CalibrationReport report = calibrateElutNn(model, task, exp.elutnn);
+        row.elutnn = report.accuracy_after;
+        row.elutnn_data_fraction =
+            static_cast<float>(report.samples_used) /
+            static_cast<float>(task.train.size());
+    }
+    return row;
+}
+
+} // namespace bench
+} // namespace pimdl
+
+#endif // PIMDL_BENCH_ACCURACY_HARNESS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 15 reproduction: PIM-DL on HBM-PIM / AiM versus FP32 inference
+ * on an NVIDIA V100 GPU (DGX-1). Same sweep as Figure 14: seq 128,
+ * batch in {1,2,4,8}, hidden dim in {1024,2048,2560,4096}.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "runtime/engine.h"
+
+using namespace pimdl;
+using namespace pimdl::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 15: GPU-based inference vs PIM-DL (seq 128, "
+                "V=4/CT=16, V100 FP32 baseline)");
+
+    const LutNnParams params{4, 16};
+    for (PimProduct product : {PimProduct::HbmPim, PimProduct::Aim}) {
+        const PimPlatformConfig platform = platformFor(product);
+        PimDlEngine engine(platform, a2Gpu());
+
+        printBanner(std::cout, platform.name + " vs V100");
+        TablePrinter table({"Hidden", "Batch", "V100 FP32 (s)",
+                            "PIM-DL (s)", "Norm. speedup"});
+        std::vector<double> speedups;
+        for (std::size_t hidden : {1024u, 2048u, 2560u, 4096u}) {
+            for (std::size_t batch : {1u, 2u, 4u, 8u}) {
+                const TransformerConfig model = customTransformer(
+                    "h" + std::to_string(hidden), hidden, 12, 128, batch);
+                const InferenceEstimate gpu = estimateHostInference(
+                    v100Gpu(), model, HostDtype::Fp32);
+                const InferenceEstimate lut =
+                    engine.estimatePimDl(model, params);
+                const double speedup = gpu.total_s / lut.total_s;
+                speedups.push_back(speedup);
+                table.addRow({
+                    std::to_string(hidden),
+                    std::to_string(batch),
+                    TablePrinter::fmt(gpu.total_s, 5),
+                    TablePrinter::fmt(lut.total_s, 5),
+                    TablePrinter::fmtRatio(speedup),
+                });
+            }
+        }
+        table.print(std::cout);
+        std::cout << "Geomean vs V100 on " << platform.name << ": "
+                  << TablePrinter::fmtRatio(geomean(speedups)) << "\n";
+    }
+
+    std::cout << "\nPaper reference: AiM-based PIM-DL reaches up to "
+                 "1.20x of V100 (16 TFLOPS product); HBM-PIM-based "
+                 "PIM-DL reaches 0.39x geomean (4.8 TFLOPS vs the "
+                 "V100's far larger compute).\n";
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional kernels behind
+ * PIM-DL: GEMM, k-means codebook learning, closest-centroid search,
+ * LUT lookup (FP32 and INT8), and the distributed PE executor. These
+ * measure this repository's host implementations (the functional
+ * simulator substrate), not the modeled DRAM-PIM hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "lutnn/converter.h"
+#include "runtime/lut_executor.h"
+#include "tensor/gemm.h"
+
+using namespace pimdl;
+
+namespace {
+
+LutLayer
+makeLayer(std::size_t h, std::size_t f, std::size_t v, std::size_t ct)
+{
+    Rng rng(1234);
+    Tensor w(h, f);
+    w.fillGaussian(rng);
+    Tensor calib(256, h);
+    calib.fillGaussian(rng);
+    ConvertOptions options;
+    options.subvec_len = v;
+    options.centroids = ct;
+    options.quantize_int8 = true;
+    options.kmeans.max_iters = 8;
+    return convertLinearLayer(w, {}, calib, options);
+}
+
+void
+BM_GemmBlocked(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    Tensor a(n, 256), b(256, 256);
+    a.fillGaussian(rng);
+    b.fillGaussian(rng);
+    for (auto _ : state) {
+        Tensor c = gemm(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n * 256 * 256));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(256);
+
+void
+BM_CodebookLearn(benchmark::State &state)
+{
+    Rng rng(8);
+    Tensor activations(512, 64);
+    activations.fillGaussian(rng);
+    KMeansOptions opts;
+    opts.max_iters = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        CodebookSet set = CodebookSet::learn(activations, 4, 16, opts);
+        benchmark::DoNotOptimize(set.raw().data());
+    }
+}
+BENCHMARK(BM_CodebookLearn)->Arg(4)->Arg(16);
+
+void
+BM_ClosestCentroidSearch(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    LutLayer layer = makeLayer(128, 256, 4, 16);
+    Rng rng(9);
+    Tensor input(n, 128);
+    input.fillGaussian(rng);
+    for (auto _ : state) {
+        IndexMatrix idx = layer.closestCentroidSearch(input);
+        benchmark::DoNotOptimize(idx.data.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * 32));
+}
+BENCHMARK(BM_ClosestCentroidSearch)->Arg(64)->Arg(512);
+
+void
+BM_LutLookupFp32(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    LutLayer layer = makeLayer(128, 256, 4, 16);
+    Rng rng(10);
+    Tensor input(n, 128);
+    input.fillGaussian(rng);
+    IndexMatrix idx = layer.closestCentroidSearch(input);
+    for (auto _ : state) {
+        Tensor out = layer.lookup(idx);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * 32 * 256));
+}
+BENCHMARK(BM_LutLookupFp32)->Arg(64)->Arg(512);
+
+void
+BM_LutLookupInt8(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    LutLayer layer = makeLayer(128, 256, 4, 16);
+    Rng rng(11);
+    Tensor input(n, 128);
+    input.fillGaussian(rng);
+    IndexMatrix idx = layer.closestCentroidSearch(input);
+    for (auto _ : state) {
+        Tensor out = layer.lookupQuantized(idx);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * 32 * 256));
+}
+BENCHMARK(BM_LutLookupInt8)->Arg(64)->Arg(512);
+
+void
+BM_DistributedLutExecutor(benchmark::State &state)
+{
+    const std::size_t n = 256;
+    LutLayer layer = makeLayer(64, 128, 4, 16);
+    Rng rng(12);
+    Tensor input(n, 64);
+    input.fillGaussian(rng);
+    IndexMatrix idx = layer.closestCentroidSearch(input);
+
+    LutMapping mapping;
+    mapping.ns_tile = 32;  // 8 groups
+    mapping.fs_tile = 16;  // 8 lanes
+    mapping.nm_tile = 8;
+    mapping.fm_tile = 8;
+    mapping.cbm_tile = 16;
+    mapping.scheme = LutLoadScheme::CoarseGrain;
+    mapping.cb_load_tile = 2;
+    mapping.f_load_tile = 8;
+
+    const PimPlatformConfig platform = upmemPlatform();
+    for (auto _ : state) {
+        DistributedLutResult result =
+            runDistributedLut(platform, layer, idx, mapping, true);
+        benchmark::DoNotOptimize(result.output.data());
+    }
+}
+BENCHMARK(BM_DistributedLutExecutor);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tables 1 and 3 reproduction: the commodity DRAM-PIM comparison and the
+ * evaluation platform configurations, printed from the simulator's
+ * platform descriptors so the modeled parameters are auditable against
+ * the paper in one place.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "host/host_model.h"
+#include "pim/platform.h"
+
+using namespace pimdl;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Table 1: Comparison of commodity DRAM-PIMs (modeled)");
+    {
+        TablePrinter table({"Product", "Technique", "PIM units",
+                            "Peak bandwidth", "Nominal throughput",
+                            "LUT dtype"});
+        table.addRow({"PIM-DIMM (UPMEM)", "DDR4", "RISC cores (DPUs)",
+                      "80.4 GB/s per DIMM (paper)",
+                      "43.8 GOP/s per DIMM (paper)", "INT8"});
+        table.addRow({"HBM-PIM (Samsung)", "HBM2", "FP16 MAC",
+                      "2 TB/s per cube", "1.2 TFLOPS per cube", "FP16"});
+        table.addRow({"AiM (SK-Hynix)", "GDDR6", "BF16 MAC",
+                      "1 TB/s per chip", "1 TFLOPS per chip", "BF16"});
+        table.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Table 3: DRAM-PIM platform configurations (as modeled)");
+    {
+        TablePrinter table({"Platform", "PEs", "PE clock", "PE buffer",
+                            "Local mem/PE", "Internal BW", "Static power",
+                            "Host"});
+        struct Entry
+        {
+            PimPlatformConfig cfg;
+            const char *host;
+        };
+        for (const Entry &e :
+             {Entry{upmemPlatform(), "2x Xeon 4210"},
+              Entry{hbmPimPlatform(), "NVIDIA A2"},
+              Entry{aimPlatform(), "NVIDIA A2"}}) {
+            table.addRow({
+                e.cfg.name,
+                std::to_string(e.cfg.num_pes),
+                TablePrinter::fmt(e.cfg.pe_freq_hz / 1e6, 0) + " MHz",
+                TablePrinter::fmt(
+                    static_cast<double>(e.cfg.pe_buffer_bytes) / 1024, 0) +
+                    " KiB",
+                TablePrinter::fmt(static_cast<double>(
+                                      e.cfg.pe_local_mem_bytes) /
+                                      (1024.0 * 1024.0),
+                                  0) +
+                    " MiB",
+                TablePrinter::fmt(e.cfg.totalStreamBandwidth() / 1e9, 0) +
+                    " GB/s",
+                TablePrinter::fmt(e.cfg.pim_static_power_w, 1) + " W",
+                e.host,
+            });
+        }
+        table.print(std::cout);
+    }
+
+    printBanner(std::cout, "Host processors (as modeled)");
+    {
+        TablePrinter table({"Host", "Peak FP32", "Peak INT8", "Mem BW",
+                            "GEMM eff.", "Power"});
+        for (const HostProcessorConfig &cfg :
+             {xeon4210Dual(), xeonGold5218Dual(), v100Gpu(), a2Gpu()}) {
+            table.addRow({
+                cfg.name,
+                TablePrinter::fmt(cfg.peak_fp32_ops / 1e9, 0) + " GOPS",
+                TablePrinter::fmt(cfg.peak_int8_ops / 1e9, 0) + " GOPS",
+                TablePrinter::fmt(cfg.mem_bw / 1e9, 0) + " GB/s",
+                TablePrinter::fmt(cfg.gemm_efficiency, 3),
+                TablePrinter::fmt(cfg.power_w, 0) + " W",
+            });
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

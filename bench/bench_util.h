@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: geometric means and the
+ * standard set of paper workloads.
+ */
+
+#ifndef PIMDL_BENCH_BENCH_UTIL_H
+#define PIMDL_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <vector>
+
+namespace pimdl {
+namespace bench {
+
+/** Geometric mean of a list of positive ratios. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace bench
+} // namespace pimdl
+
+#endif // PIMDL_BENCH_BENCH_UTIL_H

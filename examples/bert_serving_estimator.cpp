@@ -1,0 +1,91 @@
+/**
+ * @file
+ * BERT serving estimator: plans PIM-DL deployment of BERT-base/large on
+ * all three commodity DRAM-PIM platforms, printing per-linear-layer
+ * mappings, the latency/energy breakdown, and the comparison against
+ * CPU and GEMM-offload baselines.
+ *
+ * Usage: bert_serving_estimator [base|large] [V] [CT]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "runtime/engine.h"
+
+using namespace pimdl;
+
+int
+main(int argc, char **argv)
+{
+    const std::string which = argc > 1 ? argv[1] : "base";
+    LutNnParams params;
+    params.subvec_len = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+    params.centroids = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 16;
+
+    const TransformerConfig model =
+        which == "large" ? bertLarge() : bertBase();
+    std::cout << "Serving plan for " << model.name << " (batch "
+              << model.batch << ", seq " << model.seq_len << ", V="
+              << params.subvec_len << ", CT=" << params.centroids
+              << ")\n\n";
+
+    // UPMEM deployment with per-layer detail.
+    {
+        PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+        const InferenceEstimate est = engine.estimatePimDl(model, params);
+
+        printBanner(std::cout, "UPMEM PIM-DIMM deployment");
+        TablePrinter table({"Layer", "CCS (s)", "LUT (s)", "Mapping"});
+        for (const LinearLatency &l : est.per_linear) {
+            table.addRow({linearRoleName(l.role),
+                          TablePrinter::fmt(l.ccs_s, 3),
+                          TablePrinter::fmt(l.lut_s, 3),
+                          l.mapping.describe()});
+        }
+        table.print(std::cout);
+        std::cout << "\nTotal " << TablePrinter::fmt(est.total_s, 2)
+                  << " s  (LUT " << TablePrinter::fmt(est.lut_s, 2)
+                  << ", CCS " << TablePrinter::fmt(est.ccs_s, 2)
+                  << ", attention " << TablePrinter::fmt(est.attention_s, 2)
+                  << ", other " << TablePrinter::fmt(est.other_s, 2)
+                  << ")\nThroughput "
+                  << TablePrinter::fmt(est.throughput(model.batch), 2)
+                  << " inferences/s, energy "
+                  << TablePrinter::fmt(est.energy.total(), 0) << " J\n";
+
+        const InferenceEstimate cpu = estimateHostInference(
+            xeonGold5218Dual(), model, HostDtype::Int8);
+        const InferenceEstimate gemm =
+            engine.estimatePimGemm(model, HostDtype::Int8);
+        std::cout << "vs CPU INT8: "
+                  << TablePrinter::fmtRatio(cpu.total_s / est.total_s)
+                  << ", vs GEMM-on-PIM: "
+                  << TablePrinter::fmtRatio(gemm.total_s / est.total_s)
+                  << "\n";
+    }
+
+    // Cross-platform summary.
+    printBanner(std::cout, "Cross-platform summary");
+    TablePrinter summary({"Platform", "PIM-DL (s)", "PIM-GEMM (s)",
+                          "Speedup"});
+    for (PimProduct product :
+         {PimProduct::UpmemDimm, PimProduct::HbmPim, PimProduct::Aim}) {
+        const PimPlatformConfig platform = platformFor(product);
+        const HostProcessorConfig host =
+            product == PimProduct::UpmemDimm ? xeon4210Dual() : a2Gpu();
+        PimDlEngine engine(platform, host);
+        const InferenceEstimate lut = engine.estimatePimDl(model, params);
+        const InferenceEstimate gemm = engine.estimatePimGemm(
+            model, product == PimProduct::UpmemDimm ? HostDtype::Int8
+                                                    : HostDtype::Fp16);
+        summary.addRow({platform.name, TablePrinter::fmt(lut.total_s, 2),
+                        TablePrinter::fmt(gemm.total_s, 2),
+                        TablePrinter::fmtRatio(gemm.total_s /
+                                               lut.total_s)});
+    }
+    summary.print(std::cout);
+    return 0;
+}

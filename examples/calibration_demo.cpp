@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end eLUT-NN calibration demo: trains a small transformer
+ * classifier on a synthetic task, replaces every encoder linear layer
+ * with LUTs, and shows how deployed (hard-LUT) accuracy evolves from
+ * random codebooks through eLUT-NN calibration, next to the baseline
+ * LUT-NN algorithm — a miniature of the paper's Tables 4-5 protocol.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "lutnn/elutnn.h"
+
+using namespace pimdl;
+
+int
+main()
+{
+    std::cout << "eLUT-NN calibration demo\n========================\n\n";
+
+    ClassifierConfig mc;
+    mc.input_dim = 12;
+    mc.hidden = 16;
+    mc.ffn = 32;
+    mc.layers = 3;
+    mc.classes = 8;
+    mc.seq_len = 8;
+    mc.subvec_len = 2;
+    mc.centroids = 16;
+    mc.seed = 101;
+
+    SyntheticTaskConfig tc;
+    tc.style = TaskStyle::SequencePairs;
+    tc.classes = 8;
+    tc.seq_len = 8;
+    tc.input_dim = 12;
+    tc.noise = 0.8f;
+    tc.train_samples = 768;
+    tc.test_samples = 192;
+    tc.seed = 707;
+    const SyntheticTask task = makeSyntheticTask(tc);
+
+    std::cout << "task: " << tc.classes << "-way compositional sequence "
+              << "classification, " << tc.train_samples << " train / "
+              << tc.test_samples << " test samples\n";
+    std::cout << "model: " << mc.layers << "-layer transformer, hidden "
+              << mc.hidden << ", " << 6 * mc.layers
+              << " replaceable linear layers (V=" << mc.subvec_len
+              << ", CT=" << mc.centroids << ")\n\n";
+
+    // 1. Pre-train the dense model.
+    TransformerClassifier model(mc);
+    TrainOptions train;
+    train.epochs = 20;
+    const float dense_acc = trainDense(model, task, train);
+    std::cout << "dense (original) test accuracy: " << 100 * dense_acc
+              << "%\n\n";
+
+    // 2. eLUT-NN calibration from random codebooks on 10% of the data.
+    {
+        TransformerClassifier m = model.cloneWeights();
+        CalibrationOptions opts;
+        opts.epochs = 60;
+        opts.data_fraction = 0.10f;
+        opts.recon_beta = 1e-3f;
+        opts.lr = 3e-3f;
+        const CalibrationReport report = calibrateElutNn(m, task, opts);
+        std::cout << "eLUT-NN: random-init hard-LUT accuracy "
+                  << 100 * report.accuracy_before << "% -> calibrated "
+                  << 100 * report.accuracy_after << "% using "
+                  << report.samples_used << " samples ("
+                  << 100.0 * report.samples_used / task.train.size()
+                  << "% of the training set)\n";
+        std::cout << "  loss trail:";
+        for (std::size_t e = 0; e < report.loss_history.size();
+             e += report.loss_history.size() / 6 + 1) {
+            std::cout << " " << TablePrinter::fmt(report.loss_history[e],
+                                                  3);
+        }
+        std::cout << "\n\n";
+    }
+
+    // 3. Baseline LUT-NN (soft assignment, full data, no recon loss).
+    {
+        TransformerClassifier m = model.cloneWeights();
+        CalibrationOptions opts;
+        opts.epochs = 6;
+        opts.data_fraction = 1.0f;
+        const CalibrationReport report =
+            calibrateBaselineLutNn(m, task, opts);
+        std::cout << "baseline LUT-NN: calibrated hard-LUT accuracy "
+                  << 100 * report.accuracy_after << "% using the full "
+                  << task.train.size() << "-sample training set\n";
+    }
+    return 0;
+}

@@ -1,0 +1,607 @@
+#include "ops.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace pimdl {
+namespace ag {
+
+namespace {
+
+/** Adds @p delta into @p parent's grad buffer if it participates. */
+void
+accumulate(Node &parent, const Tensor &delta)
+{
+    if (!parent.requires_grad)
+        return;
+    Tensor &g = parent.ensureGrad();
+    PIMDL_ASSERT(g.rows() == delta.rows() && g.cols() == delta.cols(),
+                 "gradient shape mismatch");
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g.data()[i] += delta.data()[i];
+}
+
+} // namespace
+
+Variable
+matmul(Variable a, Variable b)
+{
+    Tensor value = gemm(a.value(), b.value());
+    Tensor a_val = a.value();
+    Tensor b_val = b.value();
+    return Variable::op(std::move(value), {a, b}, [a_val, b_val](Node &self) {
+        if (self.parents[0]->requires_grad)
+            accumulate(*self.parents[0], gemm(self.grad, b_val.transposed()));
+        if (self.parents[1]->requires_grad)
+            accumulate(*self.parents[1], gemm(a_val.transposed(), self.grad));
+    });
+}
+
+Variable
+add(Variable a, Variable b)
+{
+    Tensor value = pimdl::add(a.value(), b.value());
+    return Variable::op(std::move(value), {a, b}, [](Node &self) {
+        accumulate(*self.parents[0], self.grad);
+        accumulate(*self.parents[1], self.grad);
+    });
+}
+
+Variable
+sub(Variable a, Variable b)
+{
+    PIMDL_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "shape mismatch in sub");
+    Tensor value(a.rows(), a.cols());
+    for (std::size_t i = 0; i < value.size(); ++i)
+        value.data()[i] = a.value().data()[i] - b.value().data()[i];
+    return Variable::op(std::move(value), {a, b}, [](Node &self) {
+        accumulate(*self.parents[0], self.grad);
+        if (self.parents[1]->requires_grad) {
+            Tensor neg(self.grad.rows(), self.grad.cols());
+            for (std::size_t i = 0; i < neg.size(); ++i)
+                neg.data()[i] = -self.grad.data()[i];
+            accumulate(*self.parents[1], neg);
+        }
+    });
+}
+
+Variable
+addRowBroadcast(Variable x, Variable bias)
+{
+    PIMDL_REQUIRE(bias.rows() == 1 && bias.cols() == x.cols(),
+                  "bias must be 1 x cols(x)");
+    Tensor value = x.value();
+    for (std::size_t r = 0; r < value.rows(); ++r) {
+        float *row = value.rowPtr(r);
+        const float *b = bias.value().rowPtr(0);
+        for (std::size_t c = 0; c < value.cols(); ++c)
+            row[c] += b[c];
+    }
+    return Variable::op(std::move(value), {x, bias}, [](Node &self) {
+        accumulate(*self.parents[0], self.grad);
+        if (self.parents[1]->requires_grad) {
+            Tensor db(1, self.grad.cols());
+            for (std::size_t r = 0; r < self.grad.rows(); ++r) {
+                const float *row = self.grad.rowPtr(r);
+                for (std::size_t c = 0; c < self.grad.cols(); ++c)
+                    db(0, c) += row[c];
+            }
+            accumulate(*self.parents[1], db);
+        }
+    });
+}
+
+Variable
+mulScalar(Variable x, float s)
+{
+    Tensor value = scale(x.value(), s);
+    return Variable::op(std::move(value), {x}, [s](Node &self) {
+        if (self.parents[0]->requires_grad)
+            accumulate(*self.parents[0], scale(self.grad, s));
+    });
+}
+
+Variable
+gelu(Variable x)
+{
+    Tensor value = pimdl::gelu(x.value());
+    Tensor x_val = x.value();
+    return Variable::op(std::move(value), {x}, [x_val](Node &self) {
+        if (!self.parents[0]->requires_grad)
+            return;
+        Tensor dx = geluGrad(x_val);
+        for (std::size_t i = 0; i < dx.size(); ++i)
+            dx.data()[i] *= self.grad.data()[i];
+        accumulate(*self.parents[0], dx);
+    });
+}
+
+Variable
+relu(Variable x)
+{
+    Tensor value = pimdl::relu(x.value());
+    Tensor x_val = x.value();
+    return Variable::op(std::move(value), {x}, [x_val](Node &self) {
+        if (!self.parents[0]->requires_grad)
+            return;
+        Tensor dx(x_val.rows(), x_val.cols());
+        for (std::size_t i = 0; i < dx.size(); ++i)
+            dx.data()[i] = x_val.data()[i] > 0.0f ? self.grad.data()[i]
+                                                  : 0.0f;
+        accumulate(*self.parents[0], dx);
+    });
+}
+
+Variable
+rowSoftmax(Variable x)
+{
+    Tensor value = softmaxRows(x.value());
+    Tensor probs = value;
+    return Variable::op(std::move(value), {x}, [probs](Node &self) {
+        if (!self.parents[0]->requires_grad)
+            return;
+        Tensor dx(probs.rows(), probs.cols());
+        for (std::size_t r = 0; r < probs.rows(); ++r) {
+            const float *p = probs.rowPtr(r);
+            const float *g = self.grad.rowPtr(r);
+            float dot = 0.0f;
+            for (std::size_t c = 0; c < probs.cols(); ++c)
+                dot += p[c] * g[c];
+            float *d = dx.rowPtr(r);
+            for (std::size_t c = 0; c < probs.cols(); ++c)
+                d[c] = p[c] * (g[c] - dot);
+        }
+        accumulate(*self.parents[0], dx);
+    });
+}
+
+Variable
+layerNorm(Variable x, Variable gamma, Variable beta, float epsilon)
+{
+    const std::size_t n = x.rows();
+    const std::size_t f = x.cols();
+    PIMDL_REQUIRE(gamma.rows() == 1 && gamma.cols() == f &&
+                      beta.rows() == 1 && beta.cols() == f,
+                  "layerNorm affine params must be 1 x cols(x)");
+
+    Tensor value(n, f);
+    Tensor normalized(n, f);
+    std::vector<float> inv_sigma(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const float *src = x.value().rowPtr(r);
+        double sum = 0.0;
+        for (std::size_t c = 0; c < f; ++c)
+            sum += src[c];
+        const float mu = static_cast<float>(sum / f);
+        double var = 0.0;
+        for (std::size_t c = 0; c < f; ++c) {
+            const double d = src[c] - mu;
+            var += d * d;
+        }
+        inv_sigma[r] = 1.0f /
+            std::sqrt(static_cast<float>(var / f) + epsilon);
+        const float *g = gamma.value().rowPtr(0);
+        const float *b = beta.value().rowPtr(0);
+        for (std::size_t c = 0; c < f; ++c) {
+            normalized(r, c) = (src[c] - mu) * inv_sigma[r];
+            value(r, c) = normalized(r, c) * g[c] + b[c];
+        }
+    }
+
+    Tensor gamma_val = gamma.value();
+    return Variable::op(
+        std::move(value), {x, gamma, beta},
+        [normalized, inv_sigma, gamma_val, f](Node &self) {
+            const std::size_t n_rows = normalized.rows();
+            if (self.parents[1]->requires_grad) {
+                Tensor dgamma(1, f);
+                for (std::size_t r = 0; r < n_rows; ++r) {
+                    const float *g = self.grad.rowPtr(r);
+                    const float *xn = normalized.rowPtr(r);
+                    for (std::size_t c = 0; c < f; ++c)
+                        dgamma(0, c) += g[c] * xn[c];
+                }
+                accumulate(*self.parents[1], dgamma);
+            }
+            if (self.parents[2]->requires_grad) {
+                Tensor dbeta(1, f);
+                for (std::size_t r = 0; r < n_rows; ++r) {
+                    const float *g = self.grad.rowPtr(r);
+                    for (std::size_t c = 0; c < f; ++c)
+                        dbeta(0, c) += g[c];
+                }
+                accumulate(*self.parents[2], dbeta);
+            }
+            if (self.parents[0]->requires_grad) {
+                Tensor dx(n_rows, f);
+                const float *gam = gamma_val.rowPtr(0);
+                for (std::size_t r = 0; r < n_rows; ++r) {
+                    const float *g = self.grad.rowPtr(r);
+                    const float *xn = normalized.rowPtr(r);
+                    // h = gamma * grad; dx = (h - mean(h)
+                    //     - xn * mean(h * xn)) * inv_sigma
+                    double mean_h = 0.0;
+                    double mean_hx = 0.0;
+                    for (std::size_t c = 0; c < f; ++c) {
+                        const double h = static_cast<double>(gam[c]) * g[c];
+                        mean_h += h;
+                        mean_hx += h * xn[c];
+                    }
+                    mean_h /= f;
+                    mean_hx /= f;
+                    float *d = dx.rowPtr(r);
+                    for (std::size_t c = 0; c < f; ++c) {
+                        const double h = static_cast<double>(gam[c]) * g[c];
+                        d[c] = static_cast<float>(
+                            (h - mean_h - xn[c] * mean_hx) * inv_sigma[r]);
+                    }
+                }
+                accumulate(*self.parents[0], dx);
+            }
+        });
+}
+
+Variable
+transpose(Variable x)
+{
+    Tensor value = x.value().transposed();
+    return Variable::op(std::move(value), {x}, [](Node &self) {
+        if (self.parents[0]->requires_grad)
+            accumulate(*self.parents[0], self.grad.transposed());
+    });
+}
+
+Variable
+colSlice(Variable x, std::size_t begin, std::size_t end)
+{
+    PIMDL_REQUIRE(begin < end && end <= x.cols(),
+                  "column slice out of range");
+    Tensor value = x.value().colSlice(begin, end);
+    return Variable::op(std::move(value), {x}, [begin, end](Node &self) {
+        if (!self.parents[0]->requires_grad)
+            return;
+        Node &parent = *self.parents[0];
+        Tensor dx(parent.value.rows(), parent.value.cols());
+        for (std::size_t r = 0; r < dx.rows(); ++r) {
+            const float *g = self.grad.rowPtr(r);
+            float *d = dx.rowPtr(r);
+            for (std::size_t c = begin; c < end; ++c)
+                d[c] = g[c - begin];
+        }
+        accumulate(parent, dx);
+    });
+}
+
+Variable
+concatCols(const std::vector<Variable> &parts)
+{
+    PIMDL_REQUIRE(!parts.empty(), "concatCols needs at least one part");
+    const std::size_t rows = parts[0].rows();
+    std::size_t total_cols = 0;
+    std::vector<std::size_t> offsets;
+    offsets.reserve(parts.size());
+    for (const Variable &p : parts) {
+        PIMDL_REQUIRE(p.rows() == rows, "concatCols row mismatch");
+        offsets.push_back(total_cols);
+        total_cols += p.cols();
+    }
+
+    Tensor value(rows, total_cols);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        const Tensor &src = parts[i].value();
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *s = src.rowPtr(r);
+            float *d = value.rowPtr(r) + offsets[i];
+            for (std::size_t c = 0; c < src.cols(); ++c)
+                d[c] = s[c];
+        }
+    }
+
+    std::vector<Variable> parents(parts.begin(), parts.end());
+    return Variable::op(
+        std::move(value), std::move(parents), [offsets](Node &self) {
+            for (std::size_t i = 0; i < self.parents.size(); ++i) {
+                Node &parent = *self.parents[i];
+                if (!parent.requires_grad)
+                    continue;
+                Tensor dp(parent.value.rows(), parent.value.cols());
+                for (std::size_t r = 0; r < dp.rows(); ++r) {
+                    const float *g = self.grad.rowPtr(r) + offsets[i];
+                    float *d = dp.rowPtr(r);
+                    for (std::size_t c = 0; c < dp.cols(); ++c)
+                        d[c] = g[c];
+                }
+                accumulate(parent, dp);
+            }
+        });
+}
+
+Variable
+meanRows(Variable x)
+{
+    const std::size_t n = x.rows();
+    Tensor value(1, x.cols());
+    for (std::size_t r = 0; r < n; ++r) {
+        const float *src = x.value().rowPtr(r);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            value(0, c) += src[c] / static_cast<float>(n);
+    }
+    return Variable::op(std::move(value), {x}, [n](Node &self) {
+        if (!self.parents[0]->requires_grad)
+            return;
+        Tensor dx(self.parents[0]->value.rows(),
+                  self.parents[0]->value.cols());
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (std::size_t r = 0; r < dx.rows(); ++r) {
+            float *d = dx.rowPtr(r);
+            const float *g = self.grad.rowPtr(0);
+            for (std::size_t c = 0; c < dx.cols(); ++c)
+                d[c] = g[c] * inv_n;
+        }
+        accumulate(*self.parents[0], dx);
+    });
+}
+
+namespace {
+
+Variable
+squaredDiffReduce(Variable a, Variable b, bool take_mean)
+{
+    PIMDL_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "shape mismatch in squared-diff loss");
+    const std::size_t count = a.value().size();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const double d = static_cast<double>(a.value().data()[i]) -
+                         b.value().data()[i];
+        sum += d * d;
+    }
+    const float norm = take_mean ? 1.0f / static_cast<float>(count) : 1.0f;
+    Tensor value(1, 1);
+    value(0, 0) = static_cast<float>(sum) * norm;
+
+    Tensor a_val = a.value();
+    Tensor b_val = b.value();
+    return Variable::op(
+        std::move(value), {a, b}, [a_val, b_val, norm](Node &self) {
+            const float g = self.grad(0, 0) * 2.0f * norm;
+            if (self.parents[0]->requires_grad) {
+                Tensor da(a_val.rows(), a_val.cols());
+                for (std::size_t i = 0; i < da.size(); ++i)
+                    da.data()[i] = g * (a_val.data()[i] - b_val.data()[i]);
+                accumulate(*self.parents[0], da);
+            }
+            if (self.parents[1]->requires_grad) {
+                Tensor db(b_val.rows(), b_val.cols());
+                for (std::size_t i = 0; i < db.size(); ++i)
+                    db.data()[i] = -g * (a_val.data()[i] - b_val.data()[i]);
+                accumulate(*self.parents[1], db);
+            }
+        });
+}
+
+} // namespace
+
+Variable
+mseLoss(Variable a, Variable b)
+{
+    return squaredDiffReduce(std::move(a), std::move(b), true);
+}
+
+Variable
+sumSquaredDiff(Variable a, Variable b)
+{
+    return squaredDiffReduce(std::move(a), std::move(b), false);
+}
+
+Variable
+softmaxCrossEntropy(Variable logits, const std::vector<std::size_t> &labels)
+{
+    PIMDL_REQUIRE(labels.size() == logits.rows(),
+                  "one label per logits row required");
+    Tensor probs = softmaxRows(logits.value());
+    double loss = 0.0;
+    for (std::size_t r = 0; r < probs.rows(); ++r) {
+        PIMDL_REQUIRE(labels[r] < probs.cols(), "label out of range");
+        loss -= std::log(std::max(probs(r, labels[r]), 1e-12f));
+    }
+    Tensor value(1, 1);
+    value(0, 0) = static_cast<float>(loss / probs.rows());
+
+    std::vector<std::size_t> labels_copy = labels;
+    return Variable::op(
+        std::move(value), {logits}, [probs, labels_copy](Node &self) {
+            if (!self.parents[0]->requires_grad)
+                return;
+            const float g = self.grad(0, 0) /
+                            static_cast<float>(probs.rows());
+            Tensor dx = probs;
+            for (std::size_t r = 0; r < dx.rows(); ++r)
+                dx(r, labels_copy[r]) -= 1.0f;
+            for (std::size_t i = 0; i < dx.size(); ++i)
+                dx.data()[i] *= g;
+            accumulate(*self.parents[0], dx);
+        });
+}
+
+Variable
+centroidAssign(Variable x, Variable centroids, std::size_t cb,
+               std::size_t ct, std::size_t v)
+{
+    PIMDL_REQUIRE(x.cols() == cb * v, "x width must equal cb * v");
+    PIMDL_REQUIRE(centroids.rows() == cb * ct && centroids.cols() == v,
+                  "centroid leaf must be (cb*ct) x v");
+
+    const std::size_t n = x.rows();
+    Tensor value(n, x.cols());
+    // assignment[r * cb + i] = chosen centroid row (global index).
+    std::vector<std::size_t> assignment(n * cb);
+
+    const Tensor &cvals = centroids.value();
+    for (std::size_t r = 0; r < n; ++r) {
+        const float *row = x.value().rowPtr(r);
+        float *out = value.rowPtr(r);
+        for (std::size_t i = 0; i < cb; ++i) {
+            const float *sub = row + i * v;
+            std::size_t best = i * ct;
+            double best_dist = 0.0;
+            for (std::size_t j = 0; j < ct; ++j) {
+                const float *c = cvals.rowPtr(i * ct + j);
+                double dist = 0.0;
+                for (std::size_t d = 0; d < v; ++d) {
+                    const double diff = static_cast<double>(sub[d]) - c[d];
+                    dist += diff * diff;
+                }
+                if (j == 0 || dist < best_dist) {
+                    best_dist = dist;
+                    best = i * ct + j;
+                }
+            }
+            assignment[r * cb + i] = best;
+            const float *c = cvals.rowPtr(best);
+            for (std::size_t d = 0; d < v; ++d)
+                out[i * v + d] = c[d];
+        }
+    }
+
+    return Variable::op(
+        std::move(value), {x, centroids},
+        [assignment, cb, ct, v](Node &self) {
+            const std::size_t n_rows = self.grad.rows();
+            // STE: gradient w.r.t. the activations passes through as-is.
+            accumulate(*self.parents[0], self.grad);
+            if (self.parents[1]->requires_grad) {
+                Tensor dc(cb * ct, v);
+                for (std::size_t r = 0; r < n_rows; ++r) {
+                    const float *g = self.grad.rowPtr(r);
+                    for (std::size_t i = 0; i < cb; ++i) {
+                        const std::size_t row = assignment[r * cb + i];
+                        float *d = dc.rowPtr(row);
+                        for (std::size_t dim = 0; dim < v; ++dim)
+                            d[dim] += g[i * v + dim];
+                    }
+                }
+                accumulate(*self.parents[1], dc);
+            }
+        });
+}
+
+Variable
+softAssign(Variable x, Variable centroids, std::size_t cb, std::size_t ct,
+           std::size_t v, float temperature)
+{
+    PIMDL_REQUIRE(x.cols() == cb * v, "x width must equal cb * v");
+    PIMDL_REQUIRE(centroids.rows() == cb * ct && centroids.cols() == v,
+                  "centroid leaf must be (cb*ct) x v");
+    PIMDL_REQUIRE(temperature > 0.0f, "temperature must be positive");
+
+    const std::size_t n = x.rows();
+    Tensor value(n, x.cols());
+    // Softmax weights for every (row, codebook, centroid) triple.
+    Tensor weights(n * cb, ct);
+
+    const Tensor &cvals = centroids.value();
+    const float inv_tau = 1.0f / temperature;
+    for (std::size_t r = 0; r < n; ++r) {
+        const float *row = x.value().rowPtr(r);
+        float *out = value.rowPtr(r);
+        for (std::size_t i = 0; i < cb; ++i) {
+            const float *sub = row + i * v;
+            float *w = weights.rowPtr(r * cb + i);
+            float max_score = -1e30f;
+            for (std::size_t j = 0; j < ct; ++j) {
+                const float *c = cvals.rowPtr(i * ct + j);
+                float dist = 0.0f;
+                for (std::size_t d = 0; d < v; ++d) {
+                    const float diff = sub[d] - c[d];
+                    dist += diff * diff;
+                }
+                w[j] = -dist * inv_tau;
+                max_score = std::max(max_score, w[j]);
+            }
+            float sum = 0.0f;
+            for (std::size_t j = 0; j < ct; ++j) {
+                w[j] = std::exp(w[j] - max_score);
+                sum += w[j];
+            }
+            const float inv_sum = 1.0f / sum;
+            for (std::size_t j = 0; j < ct; ++j)
+                w[j] *= inv_sum;
+            for (std::size_t d = 0; d < v; ++d) {
+                float mix = 0.0f;
+                for (std::size_t j = 0; j < ct; ++j)
+                    mix += w[j] * cvals(i * ct + j, d);
+                out[i * v + d] = mix;
+            }
+        }
+    }
+
+    Tensor x_val = x.value();
+    Tensor c_val = cvals;
+    return Variable::op(
+        std::move(value), {x, centroids},
+        [weights, x_val, c_val, cb, ct, v, inv_tau](Node &self) {
+            const std::size_t n_rows = self.grad.rows();
+            const bool need_dx = self.parents[0]->requires_grad;
+            const bool need_dc = self.parents[1]->requires_grad;
+            Tensor dx(need_dx ? n_rows : 0, need_dx ? cb * v : 0);
+            Tensor dc(need_dc ? cb * ct : 0, need_dc ? v : 0);
+
+            std::vector<float> dL_dp(ct);
+            std::vector<float> ds(ct);
+            for (std::size_t r = 0; r < n_rows; ++r) {
+                const float *g = self.grad.rowPtr(r);
+                const float *sub_row = x_val.rowPtr(r);
+                for (std::size_t i = 0; i < cb; ++i) {
+                    const float *w = weights.rowPtr(r * cb + i);
+                    const float *sub = sub_row + i * v;
+                    const float *gsub = g + i * v;
+
+                    // dL/dp_j = g . c_j ; softmax jacobian gives ds.
+                    float dot_pw = 0.0f;
+                    for (std::size_t j = 0; j < ct; ++j) {
+                        float acc = 0.0f;
+                        const float *c = c_val.rowPtr(i * ct + j);
+                        for (std::size_t d = 0; d < v; ++d)
+                            acc += gsub[d] * c[d];
+                        dL_dp[j] = acc;
+                        dot_pw += w[j] * acc;
+                    }
+                    for (std::size_t j = 0; j < ct; ++j)
+                        ds[j] = w[j] * (dL_dp[j] - dot_pw);
+
+                    for (std::size_t j = 0; j < ct; ++j) {
+                        const float *c = c_val.rowPtr(i * ct + j);
+                        // s_j = -||x - c_j||^2 / tau
+                        // ds_j/dc = 2 (x - c_j) / tau;  ds_j/dx = -that.
+                        if (need_dc) {
+                            float *d = dc.rowPtr(i * ct + j);
+                            for (std::size_t dim = 0; dim < v; ++dim) {
+                                const float delta =
+                                    2.0f * inv_tau * (sub[dim] - c[dim]);
+                                d[dim] += w[j] * gsub[dim] + ds[j] * delta;
+                            }
+                        }
+                        if (need_dx) {
+                            float *d = dx.rowPtr(r) + i * v;
+                            for (std::size_t dim = 0; dim < v; ++dim) {
+                                const float delta =
+                                    2.0f * inv_tau * (sub[dim] - c[dim]);
+                                d[dim] -= ds[j] * delta;
+                            }
+                        }
+                    }
+                }
+            }
+            if (need_dx)
+                accumulate(*self.parents[0], dx);
+            if (need_dc)
+                accumulate(*self.parents[1], dc);
+        });
+}
+
+} // namespace ag
+} // namespace pimdl

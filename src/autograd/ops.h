@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Differentiable operators for the PIM-DL autograd tape.
+ *
+ * Includes the two LUT-NN-specific ops from the paper:
+ *  - centroidAssign: hard nearest-centroid replacement with a
+ *    Straight-Through Estimator backward (Eq. 2), used by eLUT-NN.
+ *  - softAssign: temperature-softened (Gumbel-softmax style) assignment
+ *    used to reproduce the baseline LUT-NN calibration algorithm.
+ */
+
+#ifndef PIMDL_AUTOGRAD_OPS_H
+#define PIMDL_AUTOGRAD_OPS_H
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pimdl {
+namespace ag {
+
+/** C = A (n,h) * B (h,f). */
+Variable matmul(Variable a, Variable b);
+
+/** Elementwise sum of equal-shaped tensors. */
+Variable add(Variable a, Variable b);
+
+/** Elementwise difference a - b. */
+Variable sub(Variable a, Variable b);
+
+/** Adds a 1 x F bias row to every row of x. */
+Variable addRowBroadcast(Variable x, Variable bias);
+
+/** Multiplies every element by the constant @p s. */
+Variable mulScalar(Variable x, float s);
+
+/** Tanh-approximated GELU. */
+Variable gelu(Variable x);
+
+/** Rectified linear unit. */
+Variable relu(Variable x);
+
+/** Numerically stable softmax over each row. */
+Variable rowSoftmax(Variable x);
+
+/** Row-wise layer normalization; gamma/beta are 1 x F leaves. */
+Variable layerNorm(Variable x, Variable gamma, Variable beta,
+                   float epsilon = 1e-5f);
+
+/** Matrix transpose. */
+Variable transpose(Variable x);
+
+/** Column slice x[:, begin:end) (multi-head attention splitting). */
+Variable colSlice(Variable x, std::size_t begin, std::size_t end);
+
+/** Concatenates equal-row-count tensors along columns (head merge). */
+Variable concatCols(const std::vector<Variable> &parts);
+
+/** Column means: n x f -> 1 x f. */
+Variable meanRows(Variable x);
+
+/** Mean squared error between equal-shaped tensors (scalar output). */
+Variable mseLoss(Variable a, Variable b);
+
+/** Sum of squared differences ||a - b||^2 (scalar output; Eq. 1 term). */
+Variable sumSquaredDiff(Variable a, Variable b);
+
+/**
+ * Mean softmax cross-entropy over rows of @p logits against integer
+ * @p labels. Scalar output.
+ */
+Variable softmaxCrossEntropy(Variable logits,
+                             const std::vector<std::size_t> &labels);
+
+/**
+ * Hard nearest-centroid replacement H(A) with STE backward.
+ *
+ * @param x          n x (cb*v) activations.
+ * @param centroids  (cb*ct) x v centroid leaf; row (i*ct + j) is centroid
+ *                   j of codebook i.
+ * Forward replaces each length-v sub-vector with its nearest centroid.
+ * Backward: gradient w.r.t. x passes through unchanged (STE); gradient
+ * w.r.t. each centroid accumulates the output grads of the sub-vectors it
+ * was assigned to.
+ */
+Variable centroidAssign(Variable x, Variable centroids, std::size_t cb,
+                        std::size_t ct, std::size_t v);
+
+/**
+ * Soft assignment (baseline LUT-NN): each sub-vector is replaced by the
+ * softmax(-d^2 / temperature)-weighted mix of centroids, which is fully
+ * differentiable but mismatches the hard assignment used at deployment.
+ */
+Variable softAssign(Variable x, Variable centroids, std::size_t cb,
+                    std::size_t ct, std::size_t v, float temperature);
+
+} // namespace ag
+} // namespace pimdl
+
+#endif // PIMDL_AUTOGRAD_OPS_H

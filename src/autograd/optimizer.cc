@@ -1,0 +1,79 @@
+#include "optimizer.h"
+
+#include <cmath>
+
+namespace pimdl {
+namespace ag {
+
+void
+Optimizer::zeroGrad()
+{
+    for (auto &p : params_)
+        p.zeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum)
+{
+    velocity_.reserve(params_.size());
+    for (const auto &p : params_)
+        velocity_.emplace_back(p.rows(), p.cols());
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto &p = params_[i];
+        if (p.grad().empty())
+            continue;
+        Tensor &val = p.mutableValue();
+        Tensor &vel = velocity_[i];
+        const Tensor &g = p.grad();
+        for (std::size_t j = 0; j < val.size(); ++j) {
+            vel.data()[j] = momentum_ * vel.data()[j] + g.data()[j];
+            val.data()[j] -= lr_ * vel.data()[j];
+        }
+    }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float epsilon)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      epsilon_(epsilon)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto &p : params_) {
+        m_.emplace_back(p.rows(), p.cols());
+        v_.emplace_back(p.rows(), p.cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto &p = params_[i];
+        if (p.grad().empty())
+            continue;
+        Tensor &val = p.mutableValue();
+        const Tensor &g = p.grad();
+        Tensor &m = m_[i];
+        Tensor &v = v_[i];
+        for (std::size_t j = 0; j < val.size(); ++j) {
+            const float gj = g.data()[j];
+            m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * gj;
+            v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * gj * gj;
+            const float m_hat = m.data()[j] / bc1;
+            const float v_hat = v.data()[j] / bc2;
+            val.data()[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+        }
+    }
+}
+
+} // namespace ag
+} // namespace pimdl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * First-order optimizers over autograd leaf variables (SGD with momentum
+ * and Adam). The eLUT-NN calibrator uses Adam, matching the paper's
+ * fine-tuning setup.
+ */
+
+#ifndef PIMDL_AUTOGRAD_OPTIMIZER_H
+#define PIMDL_AUTOGRAD_OPTIMIZER_H
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pimdl {
+namespace ag {
+
+/** Common optimizer interface over a fixed parameter list. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Variable> params)
+        : params_(std::move(params))
+    {}
+
+    virtual ~Optimizer() = default;
+
+    /** Applies one update using the gradients currently on the leaves. */
+    virtual void step() = 0;
+
+    /** Clears the gradients of every managed parameter. */
+    void zeroGrad();
+
+    /** The managed parameters. */
+    const std::vector<Variable> &params() const { return params_; }
+
+  protected:
+    std::vector<Variable> params_;
+};
+
+/** Plain SGD with optional momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+
+    void step() override;
+
+  private:
+    float lr_;
+    float momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float epsilon = 1e-8f);
+
+    void step() override;
+
+  private:
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float epsilon_;
+    std::size_t t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace ag
+} // namespace pimdl
+
+#endif // PIMDL_AUTOGRAD_OPTIMIZER_H

@@ -1,0 +1,100 @@
+#include "variable.h"
+
+#include <unordered_set>
+
+namespace pimdl {
+namespace ag {
+
+Tensor &
+Node::ensureGrad()
+{
+    if (grad.rows() != value.rows() || grad.cols() != value.cols())
+        grad = Tensor(value.rows(), value.cols());
+    return grad;
+}
+
+Variable
+Variable::leaf(Tensor value, bool requires_grad)
+{
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->requires_grad = requires_grad;
+    return Variable(std::move(node));
+}
+
+Variable
+Variable::op(Tensor value, std::vector<Variable> parents,
+             std::function<void(Node &)> backward_fn)
+{
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->parents.reserve(parents.size());
+    for (auto &p : parents) {
+        PIMDL_ASSERT(p.valid(), "op parent is null");
+        node->requires_grad = node->requires_grad || p.requiresGrad();
+        node->parents.push_back(p.node());
+    }
+    if (node->requires_grad)
+        node->backward_fn = std::move(backward_fn);
+    return Variable(std::move(node));
+}
+
+void
+Variable::zeroGrad()
+{
+    if (node_ && !node_->grad.empty())
+        node_->grad.fill(0.0f);
+}
+
+namespace {
+
+void
+topoSort(const NodePtr &root, std::vector<Node *> &order)
+{
+    // Iterative DFS post-order; recursion would overflow on long tapes.
+    std::unordered_set<Node *> visited;
+    std::vector<std::pair<Node *, std::size_t>> stack;
+    stack.emplace_back(root.get(), 0);
+    visited.insert(root.get());
+    while (!stack.empty()) {
+        auto &[node, next_child] = stack.back();
+        if (next_child < node->parents.size()) {
+            Node *child = node->parents[next_child].get();
+            ++next_child;
+            if (child->requires_grad && !visited.count(child)) {
+                visited.insert(child);
+                stack.emplace_back(child, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+void
+Variable::backward()
+{
+    PIMDL_REQUIRE(valid(), "backward on empty variable");
+    PIMDL_REQUIRE(rows() == 1 && cols() == 1,
+                  "backward must start from a scalar");
+    PIMDL_REQUIRE(requiresGrad(), "backward on a non-differentiable value");
+
+    std::vector<Node *> order;
+    topoSort(node_, order);
+
+    node_->ensureGrad()(0, 0) = 1.0f;
+
+    // Post-order places leaves first; walk in reverse so each node's grad
+    // is complete before its backward_fn runs.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node *node = *it;
+        if (node->backward_fn && !node->grad.empty())
+            node->backward_fn(*node);
+    }
+}
+
+} // namespace ag
+} // namespace pimdl

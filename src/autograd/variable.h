@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tape-based reverse-mode automatic differentiation over Tensors.
+ *
+ * This is the training substrate behind the eLUT-NN calibrator: the paper
+ * calibrates centroids with gradient descent through a reconstruction loss
+ * and a straight-through estimator (Section 4.2); reproducing that needs a
+ * differentiable graph. The engine is deliberately small — matrices only,
+ * define-by-run, no broadcasting beyond bias rows.
+ */
+
+#ifndef PIMDL_AUTOGRAD_VARIABLE_H
+#define PIMDL_AUTOGRAD_VARIABLE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pimdl {
+namespace ag {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/** One vertex of the autograd tape. */
+class Node
+{
+  public:
+    /** Forward value. */
+    Tensor value;
+    /** Accumulated gradient; empty until backward touches this node. */
+    Tensor grad;
+    /** Whether gradients should flow to / through this node. */
+    bool requires_grad = false;
+    /** Parent nodes in the dataflow graph. */
+    std::vector<NodePtr> parents;
+    /**
+     * Propagates this node's grad into its parents. Null for leaves.
+     * Invoked exactly once per backward pass, after grad is final.
+     */
+    std::function<void(Node &)> backward_fn;
+
+    /** Ensures grad is allocated (zeroed, same shape as value). */
+    Tensor &ensureGrad();
+};
+
+/**
+ * A value-semantics handle to a tape node. Copies alias the same node.
+ */
+class Variable
+{
+  public:
+    Variable() = default;
+
+    /** Wraps an existing node. */
+    explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+    /** Creates a leaf holding @p value. */
+    static Variable leaf(Tensor value, bool requires_grad);
+
+    /** Creates an interior node produced by an op. */
+    static Variable
+    op(Tensor value, std::vector<Variable> parents,
+       std::function<void(Node &)> backward_fn);
+
+    /** True when the handle points at a node. */
+    bool valid() const { return node_ != nullptr; }
+
+    /** Forward value. */
+    const Tensor &value() const { return node_->value; }
+
+    /** Mutable forward value (leaf initialization only). */
+    Tensor &mutableValue() { return node_->value; }
+
+    /** Gradient (empty tensor if backward never reached this node). */
+    const Tensor &grad() const { return node_->grad; }
+
+    /** Whether this node participates in differentiation. */
+    bool requiresGrad() const { return node_->requires_grad; }
+
+    /** Number of rows of the forward value. */
+    std::size_t rows() const { return node_->value.rows(); }
+
+    /** Number of cols of the forward value. */
+    std::size_t cols() const { return node_->value.cols(); }
+
+    /** Underlying node pointer (for graph walks). */
+    const NodePtr &node() const { return node_; }
+
+    /** Zeroes the gradient buffer if allocated. */
+    void zeroGrad();
+
+    /**
+     * Runs reverse-mode differentiation from this variable, which must be
+     * a 1x1 scalar. Seeds d(self)/d(self) = 1 and visits the tape in
+     * reverse topological order.
+     */
+    void backward();
+
+  private:
+    NodePtr node_;
+};
+
+} // namespace ag
+} // namespace pimdl
+
+#endif // PIMDL_AUTOGRAD_VARIABLE_H

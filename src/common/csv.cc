@@ -1,0 +1,56 @@
+#include "csv.h"
+
+#include "logging.h"
+
+namespace pimdl {
+
+namespace {
+
+std::string
+escapeCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string escaped = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            escaped += '"';
+        escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string &path, std::vector<std::string> headers)
+    : out_(path), width_(headers.size())
+{
+    PIMDL_REQUIRE(width_ > 0, "csv needs at least one column");
+    if (!out_.good()) {
+        PIMDL_LOG_WARN << "cannot open csv output file: " << path;
+        return;
+    }
+    writeRow(headers);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    PIMDL_REQUIRE(cells.size() == width_, "csv row width mismatch");
+    if (out_.good())
+        writeRow(cells);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escapeCell(cells[i]);
+    }
+    out_ << '\n';
+}
+
+} // namespace pimdl

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSV emission helper so bench harnesses can export series for plotting
+ * alongside the human-readable tables.
+ */
+
+#ifndef PIMDL_COMMON_CSV_H
+#define PIMDL_COMMON_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pimdl {
+
+/** Streams rows of cells into a CSV file with RFC-4180 style quoting. */
+class CsvWriter
+{
+  public:
+    /** Opens @p path for writing and emits the header row. */
+    CsvWriter(const std::string &path, std::vector<std::string> headers);
+
+    /** Appends one data row; width must match the header. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Returns true if the underlying stream is healthy. */
+    bool good() const { return out_.good(); }
+
+  private:
+    void writeRow(const std::vector<std::string> &cells);
+
+    std::ofstream out_;
+    std::size_t width_;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_COMMON_CSV_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting facilities for PIM-DL.
+ *
+ * Follows the gem5 convention of distinguishing user-caused fatal errors
+ * (fatalError) from internal invariant violations (panicError).
+ */
+
+#ifndef PIMDL_COMMON_LOGGING_H
+#define PIMDL_COMMON_LOGGING_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace pimdl {
+
+/** Severity levels for log messages. */
+enum class LogLevel : std::uint8_t {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/**
+ * Global logging configuration. Thread-safe for concurrent emission;
+ * level changes are expected to happen during single-threaded setup.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Sets the minimum severity that will be emitted. */
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Returns the current minimum severity. */
+    LogLevel level() const { return level_; }
+
+    /** Emits a single message at the given severity. */
+    void emit(LogLevel level, const std::string &message);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Info;
+};
+
+/** Formats and emits a log message if @p level passes the global filter. */
+void logMessage(LogLevel level, const std::string &message);
+
+/**
+ * Reports an unrecoverable user-facing error (bad configuration, illegal
+ * parameters) and throws std::runtime_error.
+ */
+[[noreturn]] void fatalError(const std::string &message);
+
+/**
+ * Reports an internal invariant violation (a PIM-DL bug) and throws
+ * std::logic_error.
+ */
+[[noreturn]] void panicError(const std::string &message);
+
+namespace detail {
+
+/** Stream-style message builder used by the logging macros. */
+class LogStream
+{
+  public:
+    explicit LogStream(LogLevel level) : level_(level) {}
+
+    ~LogStream() { logMessage(level_, stream_.str()); }
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace pimdl
+
+#define PIMDL_LOG_DEBUG ::pimdl::detail::LogStream(::pimdl::LogLevel::Debug)
+#define PIMDL_LOG_INFO ::pimdl::detail::LogStream(::pimdl::LogLevel::Info)
+#define PIMDL_LOG_WARN ::pimdl::detail::LogStream(::pimdl::LogLevel::Warn)
+#define PIMDL_LOG_ERROR ::pimdl::detail::LogStream(::pimdl::LogLevel::Error)
+
+/** Checks a user-facing precondition; throws std::runtime_error on failure. */
+#define PIMDL_REQUIRE(cond, msg)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::pimdl::fatalError(std::string("requirement failed: ") + msg);  \
+        }                                                                    \
+    } while (false)
+
+/** Checks an internal invariant; throws std::logic_error on failure. */
+#define PIMDL_ASSERT(cond, msg)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::pimdl::panicError(std::string("assertion failed: ") + msg);    \
+        }                                                                    \
+    } while (false)
+
+#endif // PIMDL_COMMON_LOGGING_H

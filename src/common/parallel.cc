@@ -1,0 +1,60 @@
+#include "parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pimdl {
+
+std::size_t
+parallelWorkerCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    const std::size_t workers =
+        std::min<std::size_t>(parallelWorkerCount(), count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const std::size_t chunk = (count + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t begin = w * chunk;
+        const std::size_t end = std::min(count, begin + chunk);
+        if (begin >= end)
+            break;
+        pool.emplace_back([&, begin, end]() {
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace pimdl

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal data-parallel loop helper.
+ *
+ * The functional PE simulator executes thousands of independent micro-
+ * kernels; parallelFor shards them across hardware threads. On single-core
+ * hosts it degrades gracefully to a serial loop.
+ */
+
+#ifndef PIMDL_COMMON_PARALLEL_H
+#define PIMDL_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace pimdl {
+
+/** Returns the worker count used by parallelFor (>= 1). */
+std::size_t parallelWorkerCount();
+
+/**
+ * Invokes @p body(i) for every i in [0, count), sharding contiguous index
+ * ranges across worker threads. The body must be safe to run concurrently
+ * for distinct indices. Exceptions thrown by the body are rethrown on the
+ * calling thread after all workers join.
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace pimdl
+
+#endif // PIMDL_COMMON_PARALLEL_H

@@ -1,0 +1,74 @@
+#include "table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.h"
+
+namespace pimdl {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    PIMDL_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    PIMDL_REQUIRE(cells.size() == headers_.size(),
+                  "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << row[c];
+        }
+        out << "\n";
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TablePrinter::fmtRatio(double value, int precision)
+{
+    return fmt(value, precision) + "x";
+}
+
+void
+printBanner(std::ostream &out, const std::string &title)
+{
+    out << "\n=== " << title << " ===\n";
+}
+
+} // namespace pimdl

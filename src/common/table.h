@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fixed-width console table emitter used by the benchmark harnesses to
+ * print paper-style result rows (one table/figure per bench binary).
+ */
+
+#ifndef PIMDL_COMMON_TABLE_H
+#define PIMDL_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pimdl {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned columns.
+ *
+ * Usage:
+ * @code
+ *   TablePrinter table({"Model", "Speedup"});
+ *   table.addRow({"BERT-base", "2.05x"});
+ *   table.print(std::cout);
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Appends one row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders the table to @p out with a separator under the header. */
+    void print(std::ostream &out) const;
+
+    /** Formats a double with @p precision fractional digits. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Formats a ratio as e.g. "2.05x". */
+    static std::string fmtRatio(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Prints a section banner (used to label figures/tables in bench output). */
+void printBanner(std::ostream &out, const std::string &title);
+
+} // namespace pimdl
+
+#endif // PIMDL_COMMON_TABLE_H

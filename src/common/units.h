@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit helpers for bandwidth, capacity, time, and energy quantities used
+ * throughout the PIM simulator and analytical performance models.
+ */
+
+#ifndef PIMDL_COMMON_UNITS_H
+#define PIMDL_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace pimdl {
+
+constexpr double operator"" _KiB(unsigned long long v)
+{
+    return static_cast<double>(v) * 1024.0;
+}
+
+constexpr double operator"" _MiB(unsigned long long v)
+{
+    return static_cast<double>(v) * 1024.0 * 1024.0;
+}
+
+constexpr double operator"" _GiB(unsigned long long v)
+{
+    return static_cast<double>(v) * 1024.0 * 1024.0 * 1024.0;
+}
+
+/** Gigabytes per second expressed in bytes per second. */
+constexpr double operator"" _GBps(long double v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+constexpr double operator"" _GBps(unsigned long long v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+/** Giga-operations per second expressed in ops per second. */
+constexpr double operator"" _GOPS(long double v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+constexpr double operator"" _GOPS(unsigned long long v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+/** Tera-operations per second expressed in ops per second. */
+constexpr double operator"" _TOPS(long double v)
+{
+    return static_cast<double>(v) * 1e12;
+}
+
+constexpr double operator"" _TOPS(unsigned long long v)
+{
+    return static_cast<double>(v) * 1e12;
+}
+
+/** Megahertz expressed in hertz. */
+constexpr double operator"" _MHz(unsigned long long v)
+{
+    return static_cast<double>(v) * 1e6;
+}
+
+/** Converts seconds to milliseconds. */
+constexpr double toMillis(double seconds) { return seconds * 1e3; }
+
+/** Converts seconds to microseconds. */
+constexpr double toMicros(double seconds) { return seconds * 1e6; }
+
+} // namespace pimdl
+
+#endif // PIMDL_COMMON_UNITS_H

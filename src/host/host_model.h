@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Roofline performance models of the host processors the paper compares
+ * against: the dual Xeon 4210 (UPMEM platform host), the dual Xeon Gold
+ * 5218 CPU server (Figure 10 baseline), and the NVIDIA V100 / A2 GPUs
+ * (Figures 14-15). Each operator's latency is the max of its compute
+ * time at (peak x efficiency) and its memory time at stream bandwidth.
+ */
+
+#ifndef PIMDL_HOST_HOST_MODEL_H
+#define PIMDL_HOST_HOST_MODEL_H
+
+#include <cstddef>
+#include <string>
+
+namespace pimdl {
+
+/** Numeric datatypes the host kernels run in. */
+enum class HostDtype
+{
+    Fp32,
+    Int8,
+    Fp16,
+};
+
+/** Bytes per element of a host dtype. */
+double hostDtypeBytes(HostDtype dtype);
+
+/** Static description of a host processor. */
+struct HostProcessorConfig
+{
+    std::string name;
+    /** Peak arithmetic throughput per dtype, ops/second. */
+    double peak_fp32_ops = 0.0;
+    double peak_int8_ops = 0.0;
+    double peak_fp16_ops = 0.0;
+    /** Sustained memory bandwidth, bytes/second. */
+    double mem_bw = 0.0;
+    /** Fraction of peak a tuned GEMM achieves. */
+    double gemm_efficiency = 0.7;
+    /** Fraction of peak that non-GEMM kernels achieve. */
+    double vector_efficiency = 0.5;
+    /**
+     * Fraction of peak the closest-centroid-search kernel achieves: CCS
+     * is a GEMM with inner dim V (2-16), which no BLAS runs efficiently.
+     */
+    double ccs_efficiency = 0.05;
+    /**
+     * Strength of the long-inner-dim cache penalty in gemmSeconds: 1.0
+     * for reference-grade CPU kernels (GGML), 0.0 for BLAS-grade GPU
+     * libraries that tile reductions properly.
+     */
+    double inner_dim_penalty = 1.0;
+    /** Busy power in watts (RAPL package analog). */
+    double power_w = 125.0;
+};
+
+/** Latency estimator for host-side operators. */
+class HostModel
+{
+  public:
+    explicit HostModel(HostProcessorConfig config)
+        : config_(std::move(config))
+    {}
+
+    const HostProcessorConfig &config() const { return config_; }
+
+    /** Peak ops/s for a dtype (before efficiency derating). */
+    double peakOps(HostDtype dtype) const;
+
+    /** Roofline GEMM latency for (n,h) x (h,f). */
+    double gemmSeconds(std::size_t n, std::size_t h, std::size_t f,
+                       HostDtype dtype) const;
+
+    /**
+     * Closest-centroid-search latency: 3*N*H*CT ops over N*H activations
+     * (paper Section 3.3); memory-bound on CPUs (Figure 4).
+     */
+    double ccsSeconds(std::size_t n, std::size_t h, std::size_t ct,
+                      std::size_t subvec_len) const;
+
+    /** Generic elementwise kernel: @p ops operations over @p bytes. */
+    double elementwiseSeconds(double ops, double bytes) const;
+
+    /**
+     * Attention (scores softmax context) latency for a batch of
+     * sequences, treated as GEMM-shaped compute plus softmax traffic.
+     */
+    double attentionSeconds(std::size_t batch, std::size_t seq_len,
+                            std::size_t hidden, HostDtype dtype) const;
+
+  private:
+    HostProcessorConfig config_;
+};
+
+/** Dual-socket Xeon 4210 (PIM platform host; Fig. 4's 795.11 GOPS). */
+HostProcessorConfig xeon4210Dual();
+
+/** Dual-socket Xeon Gold 5218 CPU server (Fig. 10 baseline). */
+HostProcessorConfig xeonGold5218Dual();
+
+/** NVIDIA V100 32 GB (Fig. 15 baseline). */
+HostProcessorConfig v100Gpu();
+
+/** NVIDIA A2 (HBM-PIM / AiM platform host). */
+HostProcessorConfig a2Gpu();
+
+} // namespace pimdl
+
+#endif // PIMDL_HOST_HOST_MODEL_H

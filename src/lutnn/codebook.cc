@@ -1,0 +1,99 @@
+#include "codebook.h"
+
+namespace pimdl {
+
+void
+LutShape::validate() const
+{
+    PIMDL_REQUIRE(input_dim > 0 && output_dim > 0, "empty LUT shape");
+    PIMDL_REQUIRE(subvec_len > 0 && input_dim % subvec_len == 0,
+                  "input dim must be a multiple of the sub-vector length");
+    PIMDL_REQUIRE(centroids > 0 && centroids <= 65536,
+                  "centroid count must fit in a 16-bit index");
+}
+
+CodebookSet::CodebookSet(std::size_t codebooks, std::size_t centroids,
+                         std::size_t subvec_len)
+    : codebooks_(codebooks), centroids_(centroids), subvec_len_(subvec_len),
+      data_(codebooks * centroids * subvec_len, 0.0f),
+      norms_(codebooks * centroids, 0.0f)
+{}
+
+float *
+CodebookSet::centroid(std::size_t cb, std::size_t ct)
+{
+    return data_.data() + (cb * centroids_ + ct) * subvec_len_;
+}
+
+const float *
+CodebookSet::centroid(std::size_t cb, std::size_t ct) const
+{
+    return data_.data() + (cb * centroids_ + ct) * subvec_len_;
+}
+
+void
+CodebookSet::refreshNorms()
+{
+    for (std::size_t cb = 0; cb < codebooks_; ++cb) {
+        for (std::size_t ct = 0; ct < centroids_; ++ct) {
+            const float *c = centroid(cb, ct);
+            float sum = 0.0f;
+            for (std::size_t v = 0; v < subvec_len_; ++v)
+                sum += c[v] * c[v];
+            norms_[cb * centroids_ + ct] = sum;
+        }
+    }
+}
+
+std::size_t
+CodebookSet::nearest(std::size_t cb, const float *v) const
+{
+    // argmin_c ||v - c||^2 == argmin_c (||c||^2 - 2 v.c); ||v||^2 constant.
+    std::size_t best = 0;
+    float best_score = 0.0f;
+    for (std::size_t ct = 0; ct < centroids_; ++ct) {
+        const float *c = centroid(cb, ct);
+        float dot = 0.0f;
+        for (std::size_t d = 0; d < subvec_len_; ++d)
+            dot += v[d] * c[d];
+        const float score = norms_[cb * centroids_ + ct] - 2.0f * dot;
+        if (ct == 0 || score < best_score) {
+            best_score = score;
+            best = ct;
+        }
+    }
+    return best;
+}
+
+CodebookSet
+CodebookSet::learn(const Tensor &activations, std::size_t subvec_len,
+                   std::size_t centroids, const KMeansOptions &kmeans_options)
+{
+    PIMDL_REQUIRE(activations.cols() % subvec_len == 0,
+                  "activation width must be a multiple of V");
+    const std::size_t cb_count = activations.cols() / subvec_len;
+    CodebookSet set(cb_count, centroids, subvec_len);
+
+    Tensor column(activations.rows(), subvec_len);
+    for (std::size_t cb = 0; cb < cb_count; ++cb) {
+        for (std::size_t r = 0; r < activations.rows(); ++r) {
+            const float *src = activations.rowPtr(r) + cb * subvec_len;
+            float *dst = column.rowPtr(r);
+            for (std::size_t d = 0; d < subvec_len; ++d)
+                dst[d] = src[d];
+        }
+        KMeansOptions opts = kmeans_options;
+        opts.clusters = centroids;
+        opts.seed = kmeans_options.seed + cb;
+        const KMeansResult result = kmeans(column, opts);
+        for (std::size_t ct = 0; ct < centroids; ++ct) {
+            float *dst = set.centroid(cb, ct);
+            for (std::size_t d = 0; d < subvec_len; ++d)
+                dst[d] = result.centroids(ct, d);
+        }
+    }
+    set.refreshNorms();
+    return set;
+}
+
+} // namespace pimdl

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Codebooks for LUT-NN conversion.
+ *
+ * A CodebookSet holds CB = H/V codebooks; codebook i contains CT centroids
+ * of length V that approximate the activation sub-vectors of input columns
+ * [i*V, (i+1)*V) (paper Section 3.1, Figure 2-(b)).
+ */
+
+#ifndef PIMDL_LUTNN_CODEBOOK_H
+#define PIMDL_LUTNN_CODEBOOK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "lutnn/kmeans.h"
+#include "tensor/tensor.h"
+
+namespace pimdl {
+
+/** LUT-NN shape hyper-parameters. */
+struct LutShape
+{
+    /** Input feature length H (must be a multiple of V). */
+    std::size_t input_dim = 0;
+    /** Output feature length F. */
+    std::size_t output_dim = 0;
+    /** Sub-vector length V. */
+    std::size_t subvec_len = 4;
+    /** Centroid count per codebook CT. */
+    std::size_t centroids = 16;
+
+    /** Returns CB = H / V. */
+    std::size_t codebooks() const { return input_dim / subvec_len; }
+
+    /** Throws if the shape is internally inconsistent. */
+    void validate() const;
+};
+
+/**
+ * The per-layer centroid table: CB codebooks, each CT x V.
+ *
+ * Centroid norms (||c||^2) are cached so the closest-centroid search can
+ * use the paper's inner-product formulation: argmin ||x - c||^2 =
+ * argmin (||c||^2 - 2 x.c).
+ */
+class CodebookSet
+{
+  public:
+    CodebookSet() = default;
+
+    /** Creates zeroed codebooks for the given shape. */
+    CodebookSet(std::size_t codebooks, std::size_t centroids,
+                std::size_t subvec_len);
+
+    /**
+     * Learns codebooks from calibration activations (rows x H) by running
+     * k-means per column of sub-vectors.
+     */
+    static CodebookSet learn(const Tensor &activations,
+                             std::size_t subvec_len, std::size_t centroids,
+                             const KMeansOptions &kmeans_options);
+
+    std::size_t codebooks() const { return codebooks_; }
+    std::size_t centroids() const { return centroids_; }
+    std::size_t subvecLen() const { return subvec_len_; }
+
+    /** Mutable pointer to centroid (cb, ct), length subvecLen(). */
+    float *centroid(std::size_t cb, std::size_t ct);
+
+    /** Const pointer to centroid (cb, ct), length subvecLen(). */
+    const float *centroid(std::size_t cb, std::size_t ct) const;
+
+    /** Recomputes the cached centroid squared norms after edits. */
+    void refreshNorms();
+
+    /** Cached squared norm of centroid (cb, ct). */
+    float norm2(std::size_t cb, std::size_t ct) const
+    {
+        return norms_[cb * centroids_ + ct];
+    }
+
+    /**
+     * Returns the nearest-centroid index for sub-vector @p v (length V)
+     * in codebook @p cb, using the inner-product distance form.
+     */
+    std::size_t nearest(std::size_t cb, const float *v) const;
+
+    /** Raw centroid storage, laid out [cb][ct][v]. */
+    const std::vector<float> &raw() const { return data_; }
+
+    /** Mutable raw storage (callers must refreshNorms afterwards). */
+    std::vector<float> &raw() { return data_; }
+
+    /** Storage footprint of the centroids in bytes (FP32). */
+    std::size_t byteSize() const { return data_.size() * sizeof(float); }
+
+  private:
+    std::size_t codebooks_ = 0;
+    std::size_t centroids_ = 0;
+    std::size_t subvec_len_ = 0;
+    std::vector<float> data_;
+    std::vector<float> norms_;
+};
+
+/** Dense matrix of centroid indices (N rows x CB codebooks). */
+struct IndexMatrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::uint16_t> data;
+
+    IndexMatrix() = default;
+
+    IndexMatrix(std::size_t r, std::size_t c)
+        : rows(r), cols(c), data(r * c, 0)
+    {}
+
+    std::uint16_t &at(std::size_t r, std::size_t c)
+    {
+        return data[r * cols + c];
+    }
+
+    std::uint16_t at(std::size_t r, std::size_t c) const
+    {
+        return data[r * cols + c];
+    }
+
+    /** Payload size in bytes (the dtype the host ships to the PIMs). */
+    std::size_t byteSize() const
+    {
+        return data.size() * sizeof(std::uint16_t);
+    }
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_LUTNN_CODEBOOK_H

@@ -1,0 +1,67 @@
+#include "flops.h"
+
+namespace pimdl {
+
+double
+gemmOps(std::size_t n, std::size_t h, std::size_t f)
+{
+    return 2.0 * static_cast<double>(n) * static_cast<double>(h) *
+           static_cast<double>(f);
+}
+
+LutOpCounts
+lutOps(std::size_t n, std::size_t h, std::size_t f, std::size_t subvec_len,
+       std::size_t centroids)
+{
+    LutOpCounts counts;
+    const double dn = static_cast<double>(n);
+    const double dh = static_cast<double>(h);
+    const double df = static_cast<double>(f);
+    const double dct = static_cast<double>(centroids);
+    const double cb = dh / static_cast<double>(subvec_len);
+
+    counts.index_ops = 3.0 * dn * dh * dct;
+    counts.reduce_ops = dn * df * cb;
+    counts.multiplies = dn * dh * dct;
+    return counts;
+}
+
+double
+lutFlopReduction(std::size_t n, std::size_t h, std::size_t f,
+                 std::size_t subvec_len, std::size_t centroids)
+{
+    return gemmOps(n, h, f) /
+           lutOps(n, h, f, subvec_len, centroids).total();
+}
+
+double
+lutBytesMoved(std::size_t n, std::size_t h, std::size_t f,
+              std::size_t subvec_len, std::size_t centroids, bool int8_lut)
+{
+    const double dn = static_cast<double>(n);
+    const double dh = static_cast<double>(h);
+    const double df = static_cast<double>(f);
+    const double cb = dh / static_cast<double>(subvec_len);
+    const double lut_elem_bytes = int8_lut ? 1.0 : 4.0;
+
+    const double input_bytes = dn * dh * 4.0;
+    const double centroid_bytes = cb * centroids * subvec_len * 4.0;
+    const double index_bytes = dn * cb * 2.0;
+    // Each index fetches one F-length LUT row; with poor reuse the LUT
+    // traffic is one row per (row, codebook) pair.
+    const double lut_bytes = dn * cb * df * lut_elem_bytes;
+    const double output_bytes = dn * df * 4.0;
+    return input_bytes + centroid_bytes + index_bytes + lut_bytes +
+           output_bytes;
+}
+
+double
+lutArithmeticIntensity(std::size_t n, std::size_t h, std::size_t f,
+                       std::size_t subvec_len, std::size_t centroids,
+                       bool int8_lut)
+{
+    return lutOps(n, h, f, subvec_len, centroids).total() /
+           lutBytesMoved(n, h, f, subvec_len, centroids, int8_lut);
+}
+
+} // namespace pimdl

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Operation-count accounting for GEMM vs LUT-NN (paper Section 3.3 and
+ * Figure 3) and the arithmetic-intensity analysis behind the roofline
+ * study (Figure 4).
+ */
+
+#ifndef PIMDL_LUTNN_FLOPS_H
+#define PIMDL_LUTNN_FLOPS_H
+
+#include <cstddef>
+
+namespace pimdl {
+
+/** Operation counts of one LUT-NN linear layer execution. */
+struct LutOpCounts
+{
+    /** Index-calculation ops: 3 * N * H * CT (mul + add + cmp). */
+    double index_ops = 0.0;
+    /** Accumulation ops: N * F * (H / V). */
+    double reduce_ops = 0.0;
+    /** Multiplications (subset of index_ops): N * H * CT. */
+    double multiplies = 0.0;
+
+    double total() const { return index_ops + reduce_ops; }
+    double adds() const { return total() - multiplies; }
+};
+
+/** GEMM operation count: 2 * N * H * F. */
+double gemmOps(std::size_t n, std::size_t h, std::size_t f);
+
+/** LUT-NN operation counts per the paper's Section 3.3 formulas. */
+LutOpCounts lutOps(std::size_t n, std::size_t h, std::size_t f,
+                   std::size_t subvec_len, std::size_t centroids);
+
+/** FLOP_GEMM / FLOP_LUT-NN, the reduction plotted in Figure 3. */
+double lutFlopReduction(std::size_t n, std::size_t h, std::size_t f,
+                        std::size_t subvec_len, std::size_t centroids);
+
+/**
+ * Bytes moved by one LUT-NN layer execution (used for Figure 4's
+ * arithmetic intensity): input activations (FP32), LUT reads (INT8 when
+ * @p int8_lut), index matrix, and output writes.
+ */
+double lutBytesMoved(std::size_t n, std::size_t h, std::size_t f,
+                     std::size_t subvec_len, std::size_t centroids,
+                     bool int8_lut = true);
+
+/** Ops-per-byte of one LUT-NN layer (Figure 4's x-axis). */
+double lutArithmeticIntensity(std::size_t n, std::size_t h, std::size_t f,
+                              std::size_t subvec_len, std::size_t centroids,
+                              bool int8_lut = true);
+
+} // namespace pimdl
+
+#endif // PIMDL_LUTNN_FLOPS_H

@@ -1,0 +1,173 @@
+#include "serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace pimdl {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d4c4450; // "PDLM" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &out, std::uint32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::istream &in)
+{
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    PIMDL_REQUIRE(in.good(), "truncated LUT model stream");
+    return v;
+}
+
+void
+writeFloats(std::ostream &out, const float *data, std::size_t count)
+{
+    out.write(reinterpret_cast<const char *>(data),
+              static_cast<std::streamsize>(count * sizeof(float)));
+}
+
+void
+readFloats(std::istream &in, float *data, std::size_t count)
+{
+    in.read(reinterpret_cast<char *>(data),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    PIMDL_REQUIRE(in.good(), "truncated LUT model stream");
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writeU32(out, static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &in)
+{
+    const std::uint32_t len = readU32(in);
+    PIMDL_REQUIRE(len < (1u << 20), "implausible string length");
+    std::string s(len, '\0');
+    in.read(s.data(), len);
+    PIMDL_REQUIRE(in.good(), "truncated LUT model stream");
+    return s;
+}
+
+} // namespace
+
+const LutLayer &
+LutModelBundle::layer(const std::string &name) const
+{
+    for (const auto &[n, l] : layers) {
+        if (n == name)
+            return l;
+    }
+    fatalError("no layer named '" + name + "' in bundle");
+}
+
+void
+saveLutLayer(std::ostream &out, const LutLayer &layer)
+{
+    const LutShape &shape = layer.shape();
+    writeU32(out, static_cast<std::uint32_t>(shape.input_dim));
+    writeU32(out, static_cast<std::uint32_t>(shape.output_dim));
+    writeU32(out, static_cast<std::uint32_t>(shape.subvec_len));
+    writeU32(out, static_cast<std::uint32_t>(shape.centroids));
+    writeU32(out, layer.hasQuantizedTables() ? 1u : 0u);
+    writeU32(out, layer.bias().empty() ? 0u : 1u);
+
+    const CodebookSet &books = layer.codebooks();
+    writeFloats(out, books.raw().data(), books.raw().size());
+    writeFloats(out, layer.weight().data(), layer.weight().size());
+    if (!layer.bias().empty())
+        writeFloats(out, layer.bias().data(), layer.bias().size());
+}
+
+LutLayer
+loadLutLayer(std::istream &in)
+{
+    LutShape shape;
+    shape.input_dim = readU32(in);
+    shape.output_dim = readU32(in);
+    shape.subvec_len = readU32(in);
+    shape.centroids = readU32(in);
+    shape.validate();
+    const bool quantized = readU32(in) != 0;
+    const bool has_bias = readU32(in) != 0;
+
+    CodebookSet books(shape.codebooks(), shape.centroids,
+                      shape.subvec_len);
+    readFloats(in, books.raw().data(), books.raw().size());
+    books.refreshNorms();
+
+    Tensor weight(shape.input_dim, shape.output_dim);
+    readFloats(in, weight.data(), weight.size());
+
+    std::vector<float> bias;
+    if (has_bias) {
+        bias.resize(shape.output_dim);
+        readFloats(in, bias.data(), bias.size());
+    }
+
+    LutLayer layer =
+        LutLayer::convert(weight, std::move(books), std::move(bias));
+    if (quantized)
+        layer.quantizeTables();
+    return layer;
+}
+
+void
+saveLutModel(std::ostream &out, const LutModelBundle &bundle)
+{
+    writeU32(out, kMagic);
+    writeU32(out, kVersion);
+    writeU32(out, static_cast<std::uint32_t>(bundle.layers.size()));
+    for (const auto &[name, layer] : bundle.layers) {
+        writeString(out, name);
+        saveLutLayer(out, layer);
+    }
+    PIMDL_REQUIRE(out.good(), "failed to write LUT model stream");
+}
+
+LutModelBundle
+loadLutModel(std::istream &in)
+{
+    PIMDL_REQUIRE(readU32(in) == kMagic, "not a PIM-DL model stream");
+    const std::uint32_t version = readU32(in);
+    PIMDL_REQUIRE(version == kVersion, "unsupported model version");
+    const std::uint32_t count = readU32(in);
+    PIMDL_REQUIRE(count < (1u << 16), "implausible layer count");
+
+    LutModelBundle bundle;
+    bundle.layers.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = readString(in);
+        bundle.layers.emplace_back(std::move(name), loadLutLayer(in));
+    }
+    return bundle;
+}
+
+void
+saveLutModelFile(const std::string &path, const LutModelBundle &bundle)
+{
+    std::ofstream out(path, std::ios::binary);
+    PIMDL_REQUIRE(out.good(), "cannot open for writing: " + path);
+    saveLutModel(out, bundle);
+}
+
+LutModelBundle
+loadLutModelFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    PIMDL_REQUIRE(in.good(), "cannot open for reading: " + path);
+    return loadLutModel(in);
+}
+
+} // namespace pimdl

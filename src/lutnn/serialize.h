@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary serialization of converted LUT-NN models.
+ *
+ * A deployed PIM-DL service converts a model once (calibration is
+ * expensive) and ships the codebooks + LUTs to serving hosts; this
+ * module provides the persistent format: a versioned container holding
+ * named LutLayers (shape, codebooks, weights, bias, and the INT8
+ * quantization flag). Little-endian, magic "PDLM".
+ */
+
+#ifndef PIMDL_LUTNN_SERIALIZE_H
+#define PIMDL_LUTNN_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lutnn/lut_layer.h"
+
+namespace pimdl {
+
+/** A named collection of converted layers (one transformer's linears). */
+struct LutModelBundle
+{
+    std::vector<std::pair<std::string, LutLayer>> layers;
+
+    /** Returns the layer with @p name; throws if absent. */
+    const LutLayer &layer(const std::string &name) const;
+};
+
+/** Writes one layer to a stream. */
+void saveLutLayer(std::ostream &out, const LutLayer &layer);
+
+/** Reads one layer from a stream (throws on malformed input). */
+LutLayer loadLutLayer(std::istream &in);
+
+/** Writes a bundle to a stream. */
+void saveLutModel(std::ostream &out, const LutModelBundle &bundle);
+
+/** Reads a bundle from a stream. */
+LutModelBundle loadLutModel(std::istream &in);
+
+/** File-path conveniences. */
+void saveLutModelFile(const std::string &path,
+                      const LutModelBundle &bundle);
+LutModelBundle loadLutModelFile(const std::string &path);
+
+} // namespace pimdl
+
+#endif // PIMDL_LUTNN_SERIALIZE_H

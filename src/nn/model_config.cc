@@ -1,0 +1,140 @@
+#include "model_config.h"
+
+namespace pimdl {
+
+const char *
+linearRoleName(LinearRole role)
+{
+    switch (role) {
+      case LinearRole::QkvProjection:
+        return "QKV";
+      case LinearRole::OutProjection:
+        return "O";
+      case LinearRole::Ffn1:
+        return "FFN1";
+      case LinearRole::Ffn2:
+        return "FFN2";
+    }
+    return "?";
+}
+
+std::vector<LinearWorkload>
+TransformerConfig::linearWorkloads() const
+{
+    const std::size_t n = tokens();
+    return {
+        {LinearRole::QkvProjection, n, hidden_dim, 3 * hidden_dim},
+        {LinearRole::OutProjection, n, hidden_dim, hidden_dim},
+        {LinearRole::Ffn1, n, hidden_dim, ffn_dim},
+        {LinearRole::Ffn2, n, ffn_dim, hidden_dim},
+    };
+}
+
+double
+TransformerConfig::linearGemmOps() const
+{
+    double ops = 0.0;
+    for (const auto &w : linearWorkloads()) {
+        ops += 2.0 * static_cast<double>(w.n) * static_cast<double>(w.h) *
+               static_cast<double>(w.f);
+    }
+    return ops * static_cast<double>(layers);
+}
+
+double
+TransformerConfig::attentionOps() const
+{
+    // Scores (N x S x H) and context (N x S x H) per layer:
+    // 2 * batch * seq^2 * hidden per GEMM, two GEMMs, all layers.
+    const double per_layer = 2.0 * 2.0 * static_cast<double>(batch) *
+                             static_cast<double>(seq_len) *
+                             static_cast<double>(seq_len) *
+                             static_cast<double>(hidden_dim);
+    return per_layer * static_cast<double>(layers);
+}
+
+double
+TransformerConfig::otherOps() const
+{
+    // Residual adds, two layernorms (~8 ops/element), GELU (~10 ops/elem).
+    const double tokens_d = static_cast<double>(tokens());
+    const double per_layer =
+        tokens_d * static_cast<double>(hidden_dim) * (2.0 + 2.0 * 8.0) +
+        tokens_d * static_cast<double>(ffn_dim) * 10.0;
+    return per_layer * static_cast<double>(layers);
+}
+
+TransformerConfig
+bertBase()
+{
+    TransformerConfig cfg;
+    cfg.name = "BERT-base";
+    cfg.hidden_dim = 768;
+    cfg.ffn_dim = 3072;
+    cfg.layers = 12;
+    cfg.heads = 12;
+    cfg.seq_len = 512;
+    cfg.batch = 64;
+    return cfg;
+}
+
+TransformerConfig
+bertLarge()
+{
+    TransformerConfig cfg;
+    cfg.name = "BERT-large";
+    cfg.hidden_dim = 1024;
+    cfg.ffn_dim = 4096;
+    cfg.layers = 24;
+    cfg.heads = 16;
+    cfg.seq_len = 512;
+    cfg.batch = 64;
+    return cfg;
+}
+
+TransformerConfig
+vitHuge()
+{
+    TransformerConfig cfg;
+    cfg.name = "ViT-huge";
+    cfg.hidden_dim = 1280;
+    cfg.ffn_dim = 5120;
+    cfg.layers = 32;
+    cfg.heads = 16;
+    // 257 patches padded to 264 so the workload tiles evenly over PEs
+    // (paper Section 6.3).
+    cfg.seq_len = 264;
+    cfg.batch = 128;
+    return cfg;
+}
+
+TransformerConfig
+vitBase()
+{
+    TransformerConfig cfg;
+    cfg.name = "ViT-base";
+    cfg.hidden_dim = 768;
+    cfg.ffn_dim = 3072;
+    cfg.layers = 12;
+    cfg.heads = 12;
+    cfg.seq_len = 264;
+    cfg.batch = 128;
+    return cfg;
+}
+
+TransformerConfig
+customTransformer(const std::string &name, std::size_t hidden_dim,
+                  std::size_t layers, std::size_t seq_len, std::size_t batch)
+{
+    TransformerConfig cfg;
+    cfg.name = name;
+    cfg.hidden_dim = hidden_dim;
+    cfg.ffn_dim = 4 * hidden_dim;
+    cfg.layers = layers;
+    cfg.heads = hidden_dim / 64;
+    cfg.seq_len = seq_len;
+    cfg.batch = batch;
+    return cfg;
+}
+
+} // namespace pimdl

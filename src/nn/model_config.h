@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Transformer model geometry descriptors for the workloads evaluated in
+ * the paper (BERT-base/large, ViT-base/huge) plus the linear-layer
+ * workload shapes (QKV, O, FFN1, FFN2) that PIM-DL converts to LUTs.
+ */
+
+#ifndef PIMDL_NN_MODEL_CONFIG_H
+#define PIMDL_NN_MODEL_CONFIG_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pimdl {
+
+/** The four linear-layer roles inside one transformer encoder block. */
+enum class LinearRole
+{
+    QkvProjection, ///< Fused Q/K/V projection: H -> 3H
+    OutProjection, ///< Attention output projection: H -> H
+    Ffn1,          ///< First feed-forward layer: H -> 4H
+    Ffn2,          ///< Second feed-forward layer: 4H -> H
+};
+
+/** Human-readable role name. */
+const char *linearRoleName(LinearRole role);
+
+/** Shape of one GEMM / LUT workload (paper Table 2 notation). */
+struct LinearWorkload
+{
+    LinearRole role;
+    /** Row count N = batch * sequence length. */
+    std::size_t n = 0;
+    /** Inner (input) dim H of the GEMM. */
+    std::size_t h = 0;
+    /** Output feature dim F. */
+    std::size_t f = 0;
+};
+
+/** Geometry of one transformer encoder model. */
+struct TransformerConfig
+{
+    std::string name;
+    std::size_t hidden_dim = 768;
+    std::size_t ffn_dim = 3072;
+    std::size_t layers = 12;
+    std::size_t heads = 12;
+    std::size_t seq_len = 512;
+    std::size_t batch = 64;
+
+    /** Effective token rows per forward pass. */
+    std::size_t tokens() const { return batch * seq_len; }
+
+    /** The four linear workloads of one encoder block. */
+    std::vector<LinearWorkload> linearWorkloads() const;
+
+    /** Total GEMM FLOPs of the linear layers across all blocks. */
+    double linearGemmOps() const;
+
+    /** Attention score+context GEMM FLOPs across all blocks (host side). */
+    double attentionOps() const;
+
+    /** Elementwise/normalization op estimate across all blocks. */
+    double otherOps() const;
+};
+
+/** BERT-base: H=768, 12 layers, seq 512, batch 64 (paper Section 6.3). */
+TransformerConfig bertBase();
+
+/** BERT-large: H=1024, 24 layers, seq 512, batch 64. */
+TransformerConfig bertLarge();
+
+/** ViT-huge: H=1280, 32 layers, seq padded to 264, batch 128. */
+TransformerConfig vitHuge();
+
+/** ViT-base: H=768, 12 layers (accuracy study only). */
+TransformerConfig vitBase();
+
+/** A config with custom hidden dim (Figure 12-(d) / 14 / 15 sweeps). */
+TransformerConfig customTransformer(const std::string &name,
+                                    std::size_t hidden_dim,
+                                    std::size_t layers, std::size_t seq_len,
+                                    std::size_t batch);
+
+} // namespace pimdl
+
+#endif // PIMDL_NN_MODEL_CONFIG_H

@@ -1,0 +1,109 @@
+#include "synthetic.h"
+
+#include <cmath>
+
+namespace pimdl {
+
+namespace {
+
+/**
+ * Fills one SequencePairs sample: the sequence carries pattern p1 in its
+ * first half and pattern p2 in its second half; the label is
+ * (p1 * k + p2) mod classes, so no single token determines the class.
+ */
+void
+fillPairSample(Tensor &features, std::size_t row0,
+               const SyntheticTaskConfig &cfg, const Tensor &bank1,
+               const Tensor &bank2, std::size_t p1, std::size_t p2,
+               Rng &rng)
+{
+    const std::size_t half = cfg.seq_len / 2;
+    for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+        const Tensor &bank = t < half ? bank1 : bank2;
+        const std::size_t pattern = t < half ? p1 : p2;
+        const float *proto = bank.rowPtr(pattern);
+        float *dst = features.rowPtr(row0 + t);
+        for (std::size_t d = 0; d < cfg.input_dim; ++d)
+            dst[d] = proto[d] + cfg.noise * rng.gaussian();
+    }
+}
+
+SequenceDataset
+generatePairs(const SyntheticTaskConfig &cfg, std::size_t samples, Rng &rng,
+              const Tensor &bank1, const Tensor &bank2)
+{
+    SequenceDataset data;
+    data.seq_len = cfg.seq_len;
+    data.features = Tensor(samples * cfg.seq_len, cfg.input_dim);
+    data.labels.resize(samples);
+
+    const std::size_t k = bank2.rows();
+    for (std::size_t i = 0; i < samples; ++i) {
+        const std::size_t p1 = rng.index(bank1.rows());
+        const std::size_t p2 = rng.index(k);
+        data.labels[i] = (p1 * k + p2) % cfg.classes;
+        fillPairSample(data.features, i * cfg.seq_len, cfg, bank1, bank2,
+                       p1, p2, rng);
+    }
+    return data;
+}
+
+SequenceDataset
+generatePatches(const SyntheticTaskConfig &cfg, std::size_t samples,
+                Rng &rng, const Tensor &templates)
+{
+    SequenceDataset data;
+    data.seq_len = cfg.seq_len;
+    data.features = Tensor(samples * cfg.seq_len, cfg.input_dim);
+    data.labels.resize(samples);
+
+    for (std::size_t i = 0; i < samples; ++i) {
+        const std::size_t label = rng.index(cfg.classes);
+        data.labels[i] = label;
+        // Per-sample multiplicative gain models illumination variation.
+        const float gain = 1.0f + 0.2f * rng.gaussian();
+        for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+            const float *proto =
+                templates.rowPtr(label * cfg.seq_len + t);
+            float *dst = data.features.rowPtr(i * cfg.seq_len + t);
+            for (std::size_t d = 0; d < cfg.input_dim; ++d)
+                dst[d] = gain * proto[d] + cfg.noise * rng.gaussian();
+        }
+    }
+    return data;
+}
+
+} // namespace
+
+SyntheticTask
+makeSyntheticTask(const SyntheticTaskConfig &config)
+{
+    PIMDL_REQUIRE(config.classes >= 2, "need at least two classes");
+    PIMDL_REQUIRE(config.seq_len >= 2, "need at least two tokens");
+
+    Rng rng(config.seed);
+    SyntheticTask task;
+
+    if (config.style == TaskStyle::SequencePairs) {
+        // Pattern banks sized so that pairs cover all classes.
+        const std::size_t patterns = config.classes;
+        Tensor bank1(patterns, config.input_dim);
+        Tensor bank2(patterns, config.input_dim);
+        bank1.fillGaussian(rng, 0.0f, 1.0f);
+        bank2.fillGaussian(rng, 0.0f, 1.0f);
+        task.train = generatePairs(config, config.train_samples, rng, bank1,
+                                   bank2);
+        task.test = generatePairs(config, config.test_samples, rng, bank1,
+                                  bank2);
+    } else {
+        Tensor templates(config.classes * config.seq_len, config.input_dim);
+        templates.fillGaussian(rng, 0.0f, 1.0f);
+        task.train =
+            generatePatches(config, config.train_samples, rng, templates);
+        task.test =
+            generatePatches(config, config.test_samples, rng, templates);
+    }
+    return task;
+}
+
+} // namespace pimdl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A miniature DPU-like instruction set and interpreter.
+ *
+ * The UPMEM substitution in this repository is mostly analytical; this
+ * module adds an instruction-accurate executable layer: a small RISC
+ * ISA (registers, WRAM loads/stores, ALU ops, branches, MRAM DMA) in
+ * the spirit of UPMEM's DPU, an assembler-style program builder, and an
+ * interpreter with cycle accounting. The LUT accumulate micro-kernel is
+ * written in this ISA (dpu_kernels.h); executing it both validates the
+ * functional semantics of the reduce loop and *derives* the
+ * cycles-per-accumulate constant the platform model uses, instead of
+ * asserting it.
+ */
+
+#ifndef PIMDL_PIM_DPU_ISA_H
+#define PIMDL_PIM_DPU_ISA_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimdl {
+
+/** Opcodes of the miniature DPU ISA. */
+enum class DpuOp : std::uint8_t
+{
+    Movi,  ///< rd = imm
+    Mov,   ///< rd = ra
+    Add,   ///< rd = ra + rb
+    Addi,  ///< rd = ra + imm
+    Sub,   ///< rd = ra - rb
+    Mul,   ///< rd = ra * rb (microcoded: costs extra cycles)
+    Shl,   ///< rd = ra << imm
+    Ldb,   ///< rd = sign-extended WRAM byte at [ra + imm]
+    Ldh,   ///< rd = sign-extended WRAM halfword at [ra + imm]
+    Ldw,   ///< rd = WRAM word at [ra + imm]
+    Stw,   ///< WRAM word at [ra + imm] = rb
+    Blt,   ///< if (ra < rb) pc = imm
+    Bne,   ///< if (ra != rb) pc = imm
+    Jmp,   ///< pc = imm
+    Dma,   ///< copy rb bytes MRAM[ra] -> WRAM[rd] (blocking)
+    Halt,  ///< stop execution
+};
+
+/** One decoded instruction. */
+struct DpuInstr
+{
+    DpuOp op = DpuOp::Halt;
+    std::uint8_t rd = 0;
+    std::uint8_t ra = 0;
+    std::uint8_t rb = 0;
+    std::int32_t imm = 0;
+};
+
+/** Execution statistics of one kernel run. */
+struct DpuRunStats
+{
+    std::uint64_t instructions = 0;
+    /** Pipeline cycles assuming full tasklet occupancy (1 instr/cycle,
+     *  plus microcode expansion for multiplies). */
+    std::uint64_t cycles = 0;
+    std::uint64_t dma_transfers = 0;
+    std::uint64_t dma_bytes = 0;
+    bool halted = false;
+};
+
+/**
+ * A single simulated DPU processing engine: 32 general registers, a
+ * byte-addressed WRAM scratchpad, and a byte-addressed MRAM backing
+ * store reachable only through DMA.
+ */
+class DpuPe
+{
+  public:
+    DpuPe(std::size_t wram_bytes, std::size_t mram_bytes);
+
+    /** WRAM accessors (host-side staging for tests). */
+    std::vector<std::uint8_t> &wram() { return wram_; }
+    const std::vector<std::uint8_t> &wram() const { return wram_; }
+
+    /** MRAM accessors. */
+    std::vector<std::uint8_t> &mram() { return mram_; }
+    const std::vector<std::uint8_t> &mram() const { return mram_; }
+
+    /** Reads a 32-bit little-endian word from WRAM. */
+    std::int32_t wramWord(std::size_t addr) const;
+
+    /** Writes a 32-bit little-endian word to WRAM. */
+    void setWramWord(std::size_t addr, std::int32_t value);
+
+    /** Register file access (for seeding arguments). */
+    void setReg(std::size_t r, std::int32_t value);
+    std::int32_t reg(std::size_t r) const;
+
+    /**
+     * Runs @p program from pc = 0 until Halt or @p max_steps retired
+     * instructions. Throws on illegal memory accesses.
+     */
+    DpuRunStats run(const std::vector<DpuInstr> &program,
+                    std::uint64_t max_steps = 100'000'000);
+
+    /** Microcode expansion of one multiply, in cycles. */
+    static constexpr std::uint64_t kMulCycles = 4;
+
+  private:
+    std::array<std::int32_t, 32> regs_{};
+    std::vector<std::uint8_t> wram_;
+    std::vector<std::uint8_t> mram_;
+};
+
+/** Fluent builder assembling DpuInstr programs with labels. */
+class DpuProgramBuilder
+{
+  public:
+    DpuProgramBuilder &movi(int rd, std::int32_t imm);
+    DpuProgramBuilder &mov(int rd, int ra);
+    DpuProgramBuilder &add(int rd, int ra, int rb);
+    DpuProgramBuilder &addi(int rd, int ra, std::int32_t imm);
+    DpuProgramBuilder &sub(int rd, int ra, int rb);
+    DpuProgramBuilder &mul(int rd, int ra, int rb);
+    DpuProgramBuilder &shl(int rd, int ra, std::int32_t imm);
+    DpuProgramBuilder &ldb(int rd, int ra, std::int32_t imm = 0);
+    DpuProgramBuilder &ldh(int rd, int ra, std::int32_t imm = 0);
+    DpuProgramBuilder &ldw(int rd, int ra, std::int32_t imm = 0);
+    DpuProgramBuilder &stw(int rb, int ra, std::int32_t imm = 0);
+    DpuProgramBuilder &blt(int ra, int rb, const std::string &label);
+    DpuProgramBuilder &bne(int ra, int rb, const std::string &label);
+    DpuProgramBuilder &jmp(const std::string &label);
+    DpuProgramBuilder &dma(int rd_wram, int ra_mram, int rb_bytes);
+    DpuProgramBuilder &halt();
+
+    /** Binds @p label to the next emitted instruction. */
+    DpuProgramBuilder &label(const std::string &name);
+
+    /** Resolves labels and returns the finished program. */
+    std::vector<DpuInstr> build();
+
+  private:
+    struct Fixup
+    {
+        std::size_t instr;
+        std::string label;
+    };
+
+    std::vector<DpuInstr> program_;
+    std::vector<Fixup> fixups_;
+    std::vector<std::pair<std::string, std::size_t>> labels_;
+
+    DpuProgramBuilder &emit(DpuInstr instr);
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_PIM_DPU_ISA_H

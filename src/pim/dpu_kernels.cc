@@ -1,0 +1,143 @@
+#include "dpu_kernels.h"
+
+#include "common/logging.h"
+
+namespace pimdl {
+
+namespace {
+
+// Register allocation for the reduce kernel.
+constexpr int kR = 1;       // row counter
+constexpr int kC = 2;       // codebook counter
+constexpr int kF = 3;       // feature chunk base
+constexpr int kIdx = 4;     // loaded centroid index
+constexpr int kLutAddr = 5; // resolved LUT row address
+constexpr int kAcc0 = 6;
+constexpr int kAcc1 = 7;
+constexpr int kAcc2 = 8;
+constexpr int kAcc3 = 9;
+constexpr int kTmp = 10;
+constexpr int kRows = 11;
+constexpr int kCb = 12;
+constexpr int kFTile = 14;
+constexpr int kIdxRowPtr = 15; // idx_base + r * cb * 2
+constexpr int kIdxPtr = 16;    // walking index pointer
+constexpr int kLutRegion = 17; // lut_base + c * ct * f_tile + f
+constexpr int kLutStep = 18;   // ct * f_tile
+
+} // namespace
+
+std::vector<DpuInstr>
+buildLutReduceKernel(const DpuLutKernelShape &shape,
+                     const DpuLutKernelLayout &layout)
+{
+    PIMDL_REQUIRE(shape.f_tile % 4 == 0,
+                  "kernel unrolls 4-wide: f_tile must be a multiple of 4");
+    PIMDL_REQUIRE(shape.rows > 0 && shape.cb > 0 && shape.ct > 0,
+                  "empty kernel shape");
+
+    DpuProgramBuilder b;
+    b.movi(kRows, static_cast<std::int32_t>(shape.rows));
+    b.movi(kCb, static_cast<std::int32_t>(shape.cb));
+    b.movi(kFTile, static_cast<std::int32_t>(shape.f_tile));
+    b.movi(kLutStep, static_cast<std::int32_t>(shape.ct * shape.f_tile));
+    b.movi(kIdxRowPtr, layout.idx_base);
+    b.movi(kR, 0);
+
+    b.label("row_loop");
+    {
+        b.movi(kF, 0);
+        b.label("f_loop");
+        {
+            b.movi(kAcc0, 0).movi(kAcc1, 0).movi(kAcc2, 0).movi(kAcc3, 0);
+            b.mov(kIdxPtr, kIdxRowPtr);
+            // LUT region pointer for codebook 0 at feature offset kF.
+            b.addi(kLutRegion, kF, layout.lut_base);
+            b.movi(kC, 0);
+
+            b.label("c_loop");
+            {
+                b.ldh(kIdx, kIdxPtr, 0);
+                b.mul(kLutAddr, kIdx, kFTile);
+                b.add(kLutAddr, kLutAddr, kLutRegion);
+                b.ldb(kTmp, kLutAddr, 0).add(kAcc0, kAcc0, kTmp);
+                b.ldb(kTmp, kLutAddr, 1).add(kAcc1, kAcc1, kTmp);
+                b.ldb(kTmp, kLutAddr, 2).add(kAcc2, kAcc2, kTmp);
+                b.ldb(kTmp, kLutAddr, 3).add(kAcc3, kAcc3, kTmp);
+                b.addi(kIdxPtr, kIdxPtr, 2);
+                b.add(kLutRegion, kLutRegion, kLutStep);
+                b.addi(kC, kC, 1);
+                b.blt(kC, kCb, "c_loop");
+            }
+
+            // out word address = out_base + (r * f_tile + f) * 4.
+            b.mul(kTmp, kR, kFTile);
+            b.add(kTmp, kTmp, kF);
+            b.shl(kTmp, kTmp, 2);
+            b.stw(kAcc0, kTmp, layout.out_base + 0);
+            b.stw(kAcc1, kTmp, layout.out_base + 4);
+            b.stw(kAcc2, kTmp, layout.out_base + 8);
+            b.stw(kAcc3, kTmp, layout.out_base + 12);
+
+            b.addi(kF, kF, 4);
+            b.blt(kF, kFTile, "f_loop");
+        }
+        b.addi(kIdxRowPtr, kIdxRowPtr,
+               static_cast<std::int32_t>(shape.cb * 2));
+        b.addi(kR, kR, 1);
+        b.blt(kR, kRows, "row_loop");
+    }
+    b.halt();
+    return b.build();
+}
+
+DpuLutKernelResult
+runLutReduceOnDpu(DpuPe &pe, const DpuLutKernelShape &shape,
+                  const std::vector<std::uint16_t> &indices,
+                  const std::vector<std::int8_t> &lut)
+{
+    PIMDL_REQUIRE(indices.size() == shape.rows * shape.cb,
+                  "index payload size mismatch");
+    PIMDL_REQUIRE(lut.size() == shape.cb * shape.ct * shape.f_tile,
+                  "LUT payload size mismatch");
+
+    DpuLutKernelLayout layout;
+    layout.idx_base = 0;
+    layout.lut_base =
+        static_cast<std::int32_t>(indices.size() * sizeof(std::uint16_t));
+    layout.out_base =
+        layout.lut_base + static_cast<std::int32_t>(lut.size());
+
+    const std::size_t out_bytes =
+        shape.rows * shape.f_tile * sizeof(std::int32_t);
+    PIMDL_REQUIRE(static_cast<std::size_t>(layout.out_base) + out_bytes <=
+                      pe.wram().size(),
+                  "kernel operands exceed WRAM");
+
+    // Stage operands into WRAM.
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        pe.wram()[i * 2] = static_cast<std::uint8_t>(indices[i] & 0xff);
+        pe.wram()[i * 2 + 1] =
+            static_cast<std::uint8_t>((indices[i] >> 8) & 0xff);
+    }
+    for (std::size_t i = 0; i < lut.size(); ++i) {
+        pe.wram()[static_cast<std::size_t>(layout.lut_base) + i] =
+            static_cast<std::uint8_t>(lut[i]);
+    }
+    for (std::size_t i = 0; i < out_bytes; ++i)
+        pe.wram()[static_cast<std::size_t>(layout.out_base) + i] = 0;
+
+    DpuLutKernelResult result;
+    const auto program = buildLutReduceKernel(shape, layout);
+    result.stats = pe.run(program);
+    PIMDL_REQUIRE(result.stats.halted, "kernel did not halt");
+
+    result.output.resize(shape.rows * shape.f_tile);
+    for (std::size_t i = 0; i < result.output.size(); ++i) {
+        result.output[i] = pe.wramWord(
+            static_cast<std::size_t>(layout.out_base) + i * 4);
+    }
+    return result;
+}
+
+} // namespace pimdl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The LUT accumulate micro-kernel written in the miniature DPU ISA.
+ *
+ * Computes out[r][f] = sum_c lut[c][idx[r][c]][f] over an on-chip tile:
+ * INT8 LUT entries, INT16 indices, INT32 accumulators, with the feature
+ * loop unrolled 4-wide and incremental pointer arithmetic — the shape a
+ * hand-tuned UPMEM kernel takes. Executing it on the interpreter
+ * validates the reduce semantics instruction by instruction and derives
+ * the cycles-per-accumulate constant used by the platform model.
+ */
+
+#ifndef PIMDL_PIM_DPU_KERNELS_H
+#define PIMDL_PIM_DPU_KERNELS_H
+
+#include "pim/dpu_isa.h"
+
+namespace pimdl {
+
+/** WRAM placement of the kernel's operands. */
+struct DpuLutKernelLayout
+{
+    std::int32_t idx_base = 0;  ///< rows x cb INT16 indices.
+    std::int32_t lut_base = 0;  ///< cb x ct x f_tile INT8 entries.
+    std::int32_t out_base = 0;  ///< rows x f_tile INT32 accumulators.
+};
+
+/** Shape of one kernel invocation. */
+struct DpuLutKernelShape
+{
+    std::size_t rows = 0;   ///< index rows in the tile.
+    std::size_t cb = 0;     ///< codebooks.
+    std::size_t ct = 0;     ///< centroids per codebook.
+    std::size_t f_tile = 0; ///< feature columns (multiple of 4).
+};
+
+/**
+ * Assembles the LUT reduce kernel for the given shape and layout.
+ * Requires f_tile % 4 == 0 (4-wide unrolled accumulation).
+ */
+std::vector<DpuInstr> buildLutReduceKernel(const DpuLutKernelShape &shape,
+                                           const DpuLutKernelLayout &layout);
+
+/** Result of executing the kernel on one simulated DPU. */
+struct DpuLutKernelResult
+{
+    /** rows x f_tile INT32 outputs, row-major. */
+    std::vector<std::int32_t> output;
+    DpuRunStats stats;
+
+    /** Pipeline cycles per LUT accumulate — the platform calibration. */
+    double
+    cyclesPerAccumulate(const DpuLutKernelShape &shape) const
+    {
+        const double accs = static_cast<double>(shape.rows) * shape.cb *
+                            shape.f_tile;
+        return static_cast<double>(stats.cycles) / accs;
+    }
+};
+
+/**
+ * Stages the operands into a DPU's WRAM, runs the kernel, and returns
+ * the gathered outputs. @p indices is rows x cb (values < ct); @p lut
+ * is [c][k][f] flattened INT8.
+ */
+DpuLutKernelResult
+runLutReduceOnDpu(DpuPe &pe, const DpuLutKernelShape &shape,
+                  const std::vector<std::uint16_t> &indices,
+                  const std::vector<std::int8_t> &lut);
+
+} // namespace pimdl
+
+#endif // PIMDL_PIM_DPU_KERNELS_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Energy accounting for PIM-DL executions (paper Section 6.3, "Energy
+ * Efficiency"): PIM energy is static power x time (PIM-DIMMs have no
+ * DVFS, so static ~ dynamic per the paper); host energy is busy power x
+ * host-active time (the RAPL analog); link energy is per-byte.
+ */
+
+#ifndef PIMDL_PIM_ENERGY_H
+#define PIMDL_PIM_ENERGY_H
+
+#include "pim/platform.h"
+
+namespace pimdl {
+
+/** Energy totals of one execution, in joules. */
+struct EnergyReport
+{
+    double pim_joules = 0.0;
+    double host_joules = 0.0;
+    double transfer_joules = 0.0;
+
+    double total() const
+    {
+        return pim_joules + host_joules + transfer_joules;
+    }
+
+    EnergyReport &
+    operator+=(const EnergyReport &other)
+    {
+        pim_joules += other.pim_joules;
+        host_joules += other.host_joules;
+        transfer_joules += other.transfer_joules;
+        return *this;
+    }
+};
+
+/** Computes energy from latency components and transferred bytes. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const PimPlatformConfig &platform)
+        : platform_(platform)
+    {}
+
+    /**
+     * @param pim_busy_s    wall time during which PIM modules are powered
+     *                      and executing (for DIMMs this is total time).
+     * @param host_busy_s   time the host processor spends computing.
+     * @param link_bytes    bytes moved over the host<->PIM link.
+     */
+    EnergyReport
+    energy(double pim_busy_s, double host_busy_s, double link_bytes) const
+    {
+        EnergyReport report;
+        report.pim_joules = platform_.pim_static_power_w * pim_busy_s;
+        report.host_joules = platform_.host_power_w * host_busy_s;
+        report.transfer_joules =
+            platform_.transfer_energy_per_byte * link_bytes;
+        return report;
+    }
+
+  private:
+    PimPlatformConfig platform_;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_PIM_ENERGY_H

@@ -1,0 +1,316 @@
+#include "engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pimdl {
+
+PimDlEngine::PimDlEngine(PimPlatformConfig platform,
+                         HostProcessorConfig host)
+    : platform_(platform), host_(std::move(host)),
+      tuner_(std::move(platform))
+{}
+
+namespace {
+
+/** Elementwise host work of one encoder layer (residuals, LN, GELU). */
+void
+elementwiseProfile(const TransformerConfig &model, double &ops,
+                   double &bytes)
+{
+    const double tokens = static_cast<double>(model.tokens());
+    const double hidden = static_cast<double>(model.hidden_dim);
+    const double ffn = static_cast<double>(model.ffn_dim);
+    // Two residual adds + two layernorms over hidden, one GELU over ffn.
+    ops = tokens * hidden * (2.0 + 2.0 * 8.0) + tokens * ffn * 10.0;
+    bytes = (tokens * hidden * 6.0 + tokens * ffn * 2.0) * 4.0;
+}
+
+} // namespace
+
+void
+PimDlEngine::addHostSideOps(const TransformerConfig &model,
+                            InferenceEstimate &est, HostDtype dtype) const
+{
+    const double attn = host_.attentionSeconds(model.batch, model.seq_len,
+                                               model.hidden_dim, dtype) *
+                        static_cast<double>(model.layers);
+    double ew_ops = 0.0;
+    double ew_bytes = 0.0;
+    elementwiseProfile(model, ew_ops, ew_bytes);
+
+    double other = 0.0;
+    if (platform_.supports_elementwise) {
+        // Offload elementwise operators to the PIM units: they are
+        // bandwidth-bound and the banks have far more bandwidth than
+        // the host link (paper Figure 6-(b) offloading choice).
+        other = std::max(ew_ops / platform_.totalAddThroughput(),
+                         ew_bytes / platform_.totalStreamBandwidth()) *
+                static_cast<double>(model.layers);
+        est.pim_busy_s += other;
+    } else {
+        other = host_.elementwiseSeconds(ew_ops, ew_bytes) *
+                static_cast<double>(model.layers);
+        est.host_busy_s += other;
+    }
+
+    est.attention_s += attn;
+    est.other_s += other;
+    est.host_busy_s += attn;
+    est.total_s += attn + other;
+}
+
+InferenceEstimate
+PimDlEngine::estimatePimDlImpl(const TransformerConfig &model,
+                               const LutNnParams &params,
+                               const LutMapping *override_mapping) const
+{
+    InferenceEstimate est;
+    est.label = "PIM-DL(V=" + std::to_string(params.subvec_len) +
+                ",CT=" + std::to_string(params.centroids) + ")@" +
+                platform_.name;
+
+    for (const LinearWorkload &w : model.linearWorkloads()) {
+        LutWorkloadShape shape;
+        shape.n = w.n;
+        shape.cb = w.h / params.subvec_len;
+        shape.ct = params.centroids;
+        shape.f = w.f;
+        // PEs requantize outputs to the platform's LUT dtype before the
+        // host fetches them (the next layer's CCS re-quantizes anyway),
+        // so the gather moves lut_dtype-wide elements, not INT32.
+        shape.output_dtype_bytes = platform_.lut_dtype_bytes;
+
+        LinearLatency layer;
+        layer.role = w.role;
+
+        LutCostBreakdown cost;
+        if (override_mapping) {
+            cost = evaluateLutMapping(platform_, shape, *override_mapping);
+            PIMDL_REQUIRE(cost.legal,
+                          "override mapping illegal for workload " +
+                              std::string(linearRoleName(w.role)) + ": " +
+                              cost.illegal_reason);
+            layer.mapping = *override_mapping;
+        } else {
+            const AutoTuneResult &tuned = tuneCached(shape);
+            PIMDL_REQUIRE(tuned.found, "auto-tuner found no legal mapping");
+            cost = tuned.cost;
+            layer.mapping = tuned.mapping;
+        }
+
+        layer.lut_s = cost.total() * static_cast<double>(model.layers);
+        layer.ccs_s = host_.ccsSeconds(w.n, w.h, params.centroids,
+                                       params.subvec_len) *
+                      static_cast<double>(model.layers);
+
+        est.lut_s += layer.lut_s;
+        est.ccs_s += layer.ccs_s;
+        est.pim_busy_s += layer.lut_s;
+        est.host_busy_s += layer.ccs_s;
+        est.link_bytes +=
+            cost.link_bytes * static_cast<double>(model.layers);
+        est.total_s += layer.lut_s + layer.ccs_s;
+        est.per_linear.push_back(layer);
+    }
+
+    addHostSideOps(model, est, HostDtype::Fp32);
+
+    const EnergyModel energy_model(platform_);
+    // PIM-DIMMs stay powered for the whole inference (no DVFS), so PIM
+    // energy integrates static power over total wall time.
+    est.energy = energy_model.energy(est.total_s, est.host_busy_s,
+                                     est.link_bytes);
+    return est;
+}
+
+const AutoTuneResult &
+PimDlEngine::tuneCached(const LutWorkloadShape &shape) const
+{
+    const std::array<std::size_t, 5> key{
+        shape.n, shape.cb, shape.ct, shape.f,
+        static_cast<std::size_t>(shape.output_dtype_bytes)};
+    const auto it = tune_cache_.find(key);
+    if (it != tune_cache_.end())
+        return it->second;
+    return tune_cache_.emplace(key, tuner_.tune(shape)).first->second;
+}
+
+InferenceEstimate
+PimDlEngine::estimatePimDl(const TransformerConfig &model,
+                           const LutNnParams &params) const
+{
+    return estimatePimDlImpl(model, params, nullptr);
+}
+
+InferenceEstimate
+PimDlEngine::estimatePimDlWithMapping(const TransformerConfig &model,
+                                      const LutNnParams &params,
+                                      const LutMapping &mapping) const
+{
+    return estimatePimDlImpl(model, params, &mapping);
+}
+
+InferenceEstimate
+PimDlEngine::estimatePimDlPipelined(const TransformerConfig &model,
+                                    const LutNnParams &params) const
+{
+    InferenceEstimate est = estimatePimDlImpl(model, params, nullptr);
+    est.label += "+pipelined";
+
+    // The host-side CCS of operator i+1 hides behind the PIM-side LUT
+    // reduction of operator i (double-buffered index matrices);
+    // attention and elementwise work stay on the critical path because
+    // they depend on the gathered outputs.
+    const double overlapped = std::max(est.ccs_s, est.lut_s);
+    est.total_s = overlapped + est.attention_s + est.other_s;
+
+    const EnergyModel energy_model(platform_);
+    est.energy = energy_model.energy(est.total_s, est.host_busy_s,
+                                     est.link_bytes);
+    return est;
+}
+
+double
+PimDlEngine::pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
+                                  std::size_t batch) const
+{
+    const double elem = hostDtypeBytes(dtype);
+    const double ops = 2.0 * static_cast<double>(w.n) * w.h * w.f;
+    const double num_pes = static_cast<double>(platform_.num_pes);
+
+    if (platform_.product == PimProduct::UpmemDimm) {
+        // DPUs have no hardware multiplier: a MAC costs one microcoded
+        // multiply plus one add. Compute utterly dominates.
+        const double mac_rate =
+            1.0 / (1.0 / platform_.pe_mul_ops_per_s +
+                   1.0 / platform_.pe_add_ops_per_s);
+        const double compute = (ops / 2.0) / (mac_rate * num_pes);
+
+        // Activation broadcast and result gather (eq. 4 pattern), with the
+        // same group/lane partition as LUT operators.
+        const double act_bytes = static_cast<double>(w.n) * w.h * elem;
+        const double out_bytes = static_cast<double>(w.n) * w.f * 4.0;
+        const double transfer =
+            act_bytes / platform_.host_broadcast.peak * 8.0 +
+            out_bytes / platform_.host_gather.peak;
+
+        // Weights stream from MRAM once per activation row block.
+        const double weight_bytes_per_pe = static_cast<double>(w.h) * w.f *
+                                           elem / num_pes *
+                                           (static_cast<double>(w.n) / 64.0);
+        const double stream =
+            weight_bytes_per_pe / platform_.pe_stream.peak;
+        return std::max(compute, stream) + transfer;
+    }
+
+    // HBM-PIM / AiM: bank-level GEMV engines. Batched GEMM degenerates
+    // into per-row GEMV commands that re-stream the full weight matrix
+    // from the banks; the GEMV dataflow's utilization improves with
+    // wider (flatter) matrices and degrades as the batch grows (paper
+    // Section 6.7). The utilization curve below is a calibration
+    // parameter documented in DESIGN.md.
+    const double weight_stream_bytes =
+        static_cast<double>(w.n) * w.h * w.f * elem;
+    // The GEMV command stream keeps only a small slice of the banks
+    // busy: wider matrices help, batching hurts, and AiM's GEMV engine
+    // (purpose-built MAC-per-bank) sustains about twice HBM-PIM's
+    // utilization.
+    const double product_factor =
+        platform_.product == PimProduct::Aim ? 2.0 : 1.0;
+    const double shape_util =
+        std::min(1.0, (0.02 + static_cast<double>(w.h) / 80000.0) *
+                          product_factor);
+    const double batch_penalty = 1.0 + 0.16 * static_cast<double>(batch);
+    const double eff_bw =
+        platform_.totalStreamBandwidth() * shape_util / batch_penalty;
+    const double stream = weight_stream_bytes / eff_bw;
+    const double compute = ops / platform_.totalAddThroughput();
+    const double cmd_overhead =
+        static_cast<double>(w.n) * platform_.kernel_launch_overhead_s;
+    return std::max(stream, compute) + cmd_overhead;
+}
+
+InferenceEstimate
+PimDlEngine::estimatePimGemm(const TransformerConfig &model,
+                             HostDtype dtype) const
+{
+    InferenceEstimate est;
+    est.label = "PIM-GEMM@" + platform_.name;
+
+    for (const LinearWorkload &w : model.linearWorkloads()) {
+        const double t =
+            (pimGemmLinearSeconds(w, dtype, model.batch) +
+             platform_.kernel_launch_overhead_s) *
+            static_cast<double>(model.layers);
+        est.linear_s += t;
+        est.pim_busy_s += t;
+        est.total_s += t;
+        est.link_bytes += (static_cast<double>(w.n) * w.h *
+                               hostDtypeBytes(dtype) +
+                           static_cast<double>(w.n) * w.f * 4.0) *
+                          static_cast<double>(model.layers);
+    }
+
+    addHostSideOps(model, est, HostDtype::Fp32);
+
+    const EnergyModel energy_model(platform_);
+    est.energy = energy_model.energy(est.total_s, est.host_busy_s,
+                                     est.link_bytes);
+    return est;
+}
+
+InferenceEstimate
+PimDlEngine::estimateHostOnly(const TransformerConfig &model,
+                              HostDtype dtype) const
+{
+    return estimateHostInference(host_.config(), model, dtype);
+}
+
+InferenceEstimate
+estimateHostInference(const HostProcessorConfig &host,
+                      const TransformerConfig &model, HostDtype dtype)
+{
+    const HostModel hm(host);
+    InferenceEstimate est;
+    est.label = host.name + "(" +
+                (dtype == HostDtype::Fp32
+                     ? "FP32"
+                     : (dtype == HostDtype::Int8 ? "INT8" : "FP16")) +
+                ")";
+
+    for (const LinearWorkload &w : model.linearWorkloads()) {
+        const double t = hm.gemmSeconds(w.n, w.h, w.f, dtype) *
+                         static_cast<double>(model.layers);
+        est.linear_s += t;
+        est.total_s += t;
+        est.host_busy_s += t;
+    }
+
+    const double attn =
+        hm.attentionSeconds(model.batch, model.seq_len, model.hidden_dim,
+                            dtype) *
+        static_cast<double>(model.layers);
+    double ew_ops = 0.0;
+    double ew_bytes = 0.0;
+    {
+        const double tokens = static_cast<double>(model.tokens());
+        const double hidden = static_cast<double>(model.hidden_dim);
+        const double ffn = static_cast<double>(model.ffn_dim);
+        ew_ops = tokens * hidden * (2.0 + 2.0 * 8.0) + tokens * ffn * 10.0;
+        ew_bytes = (tokens * hidden * 6.0 + tokens * ffn * 2.0) * 4.0;
+    }
+    const double other = hm.elementwiseSeconds(ew_ops, ew_bytes) *
+                         static_cast<double>(model.layers);
+
+    est.attention_s = attn;
+    est.other_s = other;
+    est.total_s += attn + other;
+    est.host_busy_s += attn + other;
+
+    est.energy.host_joules = host.power_w * est.total_s;
+    return est;
+}
+
+} // namespace pimdl

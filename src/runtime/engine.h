@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The PIM-DL inference engine (paper Section 4.3): estimates end-to-end
+ * transformer serving latency and energy for
+ *   - PIM-DL (LUT ops on PIM, CCS/attention/elementwise on the host),
+ *   - GEMM-based inference offloaded to the same DRAM-PIM ("PIM-GEMM",
+ *     the "Latency PIM" baseline of Figure 10),
+ *   - host-only CPU/GPU inference (Figures 10, 15).
+ *
+ * Latencies come from the tuner's analytical dataflow model for PIM ops
+ * and from roofline host models for host ops — the same modelling split
+ * the paper's auto-tuner uses.
+ */
+
+#ifndef PIMDL_RUNTIME_ENGINE_H
+#define PIMDL_RUNTIME_ENGINE_H
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "host/host_model.h"
+#include "nn/model_config.h"
+#include "pim/energy.h"
+#include "tuner/autotuner.h"
+
+namespace pimdl {
+
+/** LUT-NN hyper-parameters for deployment. */
+struct LutNnParams
+{
+    std::size_t subvec_len = 4;
+    std::size_t centroids = 16;
+};
+
+/** Per-linear-role latency record (Figure 11-(b)). */
+struct LinearLatency
+{
+    LinearRole role;
+    /** CCS (host) seconds per model forward. */
+    double ccs_s = 0.0;
+    /** LUT operator (PIM) seconds per model forward. */
+    double lut_s = 0.0;
+    /** The mapping the tuner chose. */
+    LutMapping mapping;
+
+    double total() const { return ccs_s + lut_s; }
+};
+
+/** End-to-end estimate of one inference configuration. */
+struct InferenceEstimate
+{
+    std::string label;
+    double total_s = 0.0;
+
+    // Component breakdown (Figure 11-(a)).
+    double ccs_s = 0.0;
+    double lut_s = 0.0;
+    double linear_s = 0.0; ///< GEMM time when linears are not LUT-ized.
+    double attention_s = 0.0;
+    double other_s = 0.0;
+
+    // Resource-occupancy view for energy accounting.
+    double pim_busy_s = 0.0;
+    double host_busy_s = 0.0;
+    double link_bytes = 0.0;
+
+    EnergyReport energy;
+
+    /** Per-role detail (PIM-DL runs only). */
+    std::vector<LinearLatency> per_linear;
+
+    /** Inferences per second for the config's batch. */
+    double
+    throughput(std::size_t batch) const
+    {
+        return static_cast<double>(batch) / total_s;
+    }
+};
+
+/** Engine binding one DRAM-PIM platform to its host processor. */
+class PimDlEngine
+{
+  public:
+    PimDlEngine(PimPlatformConfig platform, HostProcessorConfig host);
+
+    const PimPlatformConfig &platform() const { return platform_; }
+    const HostModel &host() const { return host_; }
+
+    /** PIM-DL execution: LUT linears on PIM, the rest on the host. */
+    InferenceEstimate estimatePimDl(const TransformerConfig &model,
+                                    const LutNnParams &params) const;
+
+    /**
+     * PIM-DL with an explicit mapping override applied to every LUT
+     * operator (mapping-space sweeps, Figure 13). The override's sub-LUT
+     * tiles must divide each workload's N and F.
+     */
+    InferenceEstimate
+    estimatePimDlWithMapping(const TransformerConfig &model,
+                             const LutNnParams &params,
+                             const LutMapping &mapping) const;
+
+    /**
+     * PIM-DL with host/PIM pipelining: the host's CCS for the next
+     * operator overlaps the PIM's LUT reduction for the current one
+     * (double-buffered indices), so the serving loop costs
+     * max(host work, PIM work) instead of their sum. An extension
+     * beyond the paper's sequential execution model.
+     */
+    InferenceEstimate
+    estimatePimDlPipelined(const TransformerConfig &model,
+                           const LutNnParams &params) const;
+
+    /** GEMM-based inference offloaded to the DRAM-PIM (no LUT-NN). */
+    InferenceEstimate estimatePimGemm(const TransformerConfig &model,
+                                      HostDtype dtype) const;
+
+    /** Host-only inference on this engine's host processor. */
+    InferenceEstimate estimateHostOnly(const TransformerConfig &model,
+                                       HostDtype dtype) const;
+
+  private:
+    PimPlatformConfig platform_;
+    HostModel host_;
+    AutoTuner tuner_;
+    /**
+     * Memoized auto-tuner results keyed by workload shape. Serving loops
+     * and sweeps re-plan identical shapes constantly; the paper tunes
+     * each model once offline (Section 5.3), so caching is faithful.
+     */
+    mutable std::map<std::array<std::size_t, 5>, AutoTuneResult>
+        tune_cache_;
+
+    /** Tunes @p shape through the memoization cache. */
+    const AutoTuneResult &tuneCached(const LutWorkloadShape &shape) const;
+
+    InferenceEstimate
+    estimatePimDlImpl(const TransformerConfig &model,
+                      const LutNnParams &params,
+                      const LutMapping *override_mapping) const;
+
+    /** Host latency of attention + elementwise ops per forward. */
+    void addHostSideOps(const TransformerConfig &model,
+                        InferenceEstimate &est, HostDtype dtype) const;
+
+    double pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
+                                std::size_t batch) const;
+};
+
+/** Host-only inference on an arbitrary processor (CPU/GPU baselines). */
+InferenceEstimate estimateHostInference(const HostProcessorConfig &host,
+                                        const TransformerConfig &model,
+                                        HostDtype dtype);
+
+} // namespace pimdl
+
+#endif // PIMDL_RUNTIME_ENGINE_H

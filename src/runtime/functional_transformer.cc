@@ -1,0 +1,260 @@
+#include "functional_transformer.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tuner/autotuner.h"
+
+namespace pimdl {
+
+namespace {
+
+std::size_t
+roleIndex(LinearRole role)
+{
+    switch (role) {
+      case LinearRole::QkvProjection:
+        return 0;
+      case LinearRole::OutProjection:
+        return 1;
+      case LinearRole::Ffn1:
+        return 2;
+      case LinearRole::Ffn2:
+        return 3;
+    }
+    return 0;
+}
+
+} // namespace
+
+FunctionalTransformer::FunctionalTransformer(
+    const FunctionalTransformerConfig &cfg)
+    : config_(cfg)
+{
+    PIMDL_REQUIRE(cfg.hidden % cfg.heads == 0,
+                  "hidden must divide into heads");
+    PIMDL_REQUIRE(cfg.hidden % cfg.subvec_len == 0 &&
+                      cfg.ffn % cfg.subvec_len == 0,
+                  "dims must be multiples of the sub-vector length");
+
+    Rng rng(cfg.seed);
+    auto init = [&](std::size_t r, std::size_t c) {
+        Tensor t(r, c);
+        const float stddev =
+            std::sqrt(2.0f / static_cast<float>(r + c));
+        t.fillGaussian(rng, 0.0f, stddev);
+        return t;
+    };
+
+    blocks_.resize(cfg.layers);
+    for (auto &block : blocks_) {
+        block.wqkv = init(cfg.hidden, 3 * cfg.hidden);
+        block.wo = init(cfg.hidden, cfg.hidden);
+        block.w1 = init(cfg.hidden, cfg.ffn);
+        block.w2 = init(cfg.ffn, cfg.hidden);
+        block.bqkv.assign(3 * cfg.hidden, 0.0f);
+        block.bo.assign(cfg.hidden, 0.0f);
+        block.b1.assign(cfg.ffn, 0.0f);
+        block.b2.assign(cfg.hidden, 0.0f);
+        block.ln1_gamma.assign(cfg.hidden, 1.0f);
+        block.ln1_beta.assign(cfg.hidden, 0.0f);
+        block.ln2_gamma.assign(cfg.hidden, 1.0f);
+        block.ln2_beta.assign(cfg.hidden, 0.0f);
+    }
+}
+
+Tensor
+FunctionalTransformer::attention(const Tensor &q, const Tensor &k,
+                                 const Tensor &v,
+                                 std::size_t seq_len) const
+{
+    PIMDL_REQUIRE(q.rows() % seq_len == 0,
+                  "token rows must be a multiple of seq_len");
+    const std::size_t samples = q.rows() / seq_len;
+    const std::size_t head_dim = config_.hidden / config_.heads;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+    Tensor out(q.rows(), config_.hidden);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const std::size_t r0 = s * seq_len;
+        Tensor qs = q.rowSlice(r0, r0 + seq_len);
+        Tensor ks = k.rowSlice(r0, r0 + seq_len);
+        Tensor vs = v.rowSlice(r0, r0 + seq_len);
+        for (std::size_t h = 0; h < config_.heads; ++h) {
+            const std::size_t c0 = h * head_dim;
+            Tensor qh = qs.colSlice(c0, c0 + head_dim);
+            Tensor kh = ks.colSlice(c0, c0 + head_dim);
+            Tensor vh = vs.colSlice(c0, c0 + head_dim);
+            Tensor scores = gemm(qh, kh.transposed());
+            for (std::size_t i = 0; i < scores.size(); ++i)
+                scores.data()[i] *= scale;
+            Tensor p = softmaxRows(scores);
+            Tensor ctx = gemm(p, vh);
+            for (std::size_t r = 0; r < seq_len; ++r) {
+                const float *src = ctx.rowPtr(r);
+                float *dst = out.rowPtr(r0 + r) + c0;
+                for (std::size_t c = 0; c < head_dim; ++c)
+                    dst[c] = src[c];
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+FunctionalTransformer::applyLinear(std::size_t layer, LinearRole role,
+                                   const Tensor &x,
+                                   LinearBackendKind backend) const
+{
+    const FunctionalBlockWeights &w = blocks_[layer];
+    if (backend == LinearBackendKind::Dense) {
+        switch (role) {
+          case LinearRole::QkvProjection:
+            return gemmBias(x, w.wqkv, w.bqkv);
+          case LinearRole::OutProjection:
+            return gemmBias(x, w.wo, w.bo);
+          case LinearRole::Ffn1:
+            return gemmBias(x, w.w1, w.b1);
+          case LinearRole::Ffn2:
+            return gemmBias(x, w.w2, w.b2);
+        }
+    }
+
+    PIMDL_REQUIRE(converted(),
+                  "convertToLut must run before LUT backends");
+    const FunctionalBlockLuts &luts = luts_[layer];
+    const LutLayer *lut = nullptr;
+    switch (role) {
+      case LinearRole::QkvProjection:
+        lut = &luts.qkv;
+        break;
+      case LinearRole::OutProjection:
+        lut = &luts.o;
+        break;
+      case LinearRole::Ffn1:
+        lut = &luts.ffn1;
+        break;
+      case LinearRole::Ffn2:
+        lut = &luts.ffn2;
+        break;
+    }
+
+    if (backend == LinearBackendKind::HostLut) {
+        // Host LUT inference uses the same INT8 tables the PIM deploys,
+        // so the PimLut backend is bit-comparable to it.
+        return lut->forwardQuantized(x);
+    }
+
+    PIMDL_REQUIRE(pim_planned_,
+                  "planPimExecution must run before the PimLut backend");
+    const IndexMatrix idx = lut->closestCentroidSearch(x);
+    const DistributedLutResult result = runDistributedLut(
+        platform_, *lut, idx, mappings_[layer][roleIndex(role)],
+        /*quantized=*/true);
+    return result.output;
+}
+
+Tensor
+FunctionalTransformer::forward(const Tensor &tokens, std::size_t seq_len,
+                               LinearBackendKind backend) const
+{
+    PIMDL_REQUIRE(tokens.cols() == config_.hidden,
+                  "token width must equal hidden dim");
+    Tensor x = tokens;
+    for (std::size_t l = 0; l < config_.layers; ++l) {
+        const FunctionalBlockWeights &w = blocks_[l];
+
+        const Tensor qkv =
+            applyLinear(l, LinearRole::QkvProjection, x, backend);
+        const Tensor q = qkv.colSlice(0, config_.hidden);
+        const Tensor k =
+            qkv.colSlice(config_.hidden, 2 * config_.hidden);
+        const Tensor v =
+            qkv.colSlice(2 * config_.hidden, 3 * config_.hidden);
+
+        const Tensor ctx = attention(q, k, v, seq_len);
+        const Tensor attn_out =
+            applyLinear(l, LinearRole::OutProjection, ctx, backend);
+        x = layerNormRows(add(x, attn_out), w.ln1_gamma, w.ln1_beta);
+
+        const Tensor h =
+            gelu(applyLinear(l, LinearRole::Ffn1, x, backend));
+        const Tensor ffn_out =
+            applyLinear(l, LinearRole::Ffn2, h, backend);
+        x = layerNormRows(add(x, ffn_out), w.ln2_gamma, w.ln2_beta);
+    }
+    return x;
+}
+
+void
+FunctionalTransformer::convertToLut(const Tensor &calibration,
+                                    std::size_t seq_len,
+                                    const KMeansOptions &kmeans)
+{
+    luts_.clear();
+    luts_.resize(config_.layers);
+
+    ConvertOptions options;
+    options.subvec_len = config_.subvec_len;
+    options.centroids = config_.centroids;
+    options.quantize_int8 = true;
+    options.kmeans = kmeans;
+
+    // Propagate the calibration tokens densely, converting each layer on
+    // the activations that actually feed it.
+    Tensor x = calibration;
+    for (std::size_t l = 0; l < config_.layers; ++l) {
+        const FunctionalBlockWeights &w = blocks_[l];
+
+        luts_[l].qkv = convertLinearLayer(w.wqkv, w.bqkv, x, options);
+        const Tensor qkv =
+            applyLinear(l, LinearRole::QkvProjection, x,
+                        LinearBackendKind::Dense);
+        const Tensor ctx = attention(
+            qkv.colSlice(0, config_.hidden),
+            qkv.colSlice(config_.hidden, 2 * config_.hidden),
+            qkv.colSlice(2 * config_.hidden, 3 * config_.hidden),
+            seq_len);
+        luts_[l].o = convertLinearLayer(w.wo, w.bo, ctx, options);
+        const Tensor attn_out = applyLinear(
+            l, LinearRole::OutProjection, ctx, LinearBackendKind::Dense);
+        x = layerNormRows(add(x, attn_out), w.ln1_gamma, w.ln1_beta);
+
+        luts_[l].ffn1 = convertLinearLayer(w.w1, w.b1, x, options);
+        const Tensor h = gelu(
+            applyLinear(l, LinearRole::Ffn1, x, LinearBackendKind::Dense));
+        luts_[l].ffn2 = convertLinearLayer(w.w2, w.b2, h, options);
+        const Tensor ffn_out = applyLinear(
+            l, LinearRole::Ffn2, h, LinearBackendKind::Dense);
+        x = layerNormRows(add(x, ffn_out), w.ln2_gamma, w.ln2_beta);
+    }
+}
+
+void
+FunctionalTransformer::planPimExecution(const PimPlatformConfig &platform,
+                                        std::size_t rows)
+{
+    PIMDL_REQUIRE(converted(), "convertToLut must run first");
+    platform_ = platform;
+    mappings_.clear();
+    mappings_.resize(config_.layers);
+
+    AutoTuner tuner(platform);
+    for (std::size_t l = 0; l < config_.layers; ++l) {
+        const std::array<const LutLayer *, 4> layers{
+            &luts_[l].qkv, &luts_[l].o, &luts_[l].ffn1, &luts_[l].ffn2};
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            LutWorkloadShape shape = lutShapeFor(*layers[i], rows);
+            shape.output_dtype_bytes = platform.lut_dtype_bytes;
+            const AutoTuneResult tuned = tuner.tune(shape);
+            PIMDL_REQUIRE(tuned.found,
+                          "no legal mapping for functional PIM run");
+            mappings_[l][i] = tuned.mapping;
+        }
+    }
+    pim_planned_ = true;
+}
+
+} // namespace pimdl

@@ -1,0 +1,90 @@
+#include "lut_executor.h"
+
+#include "common/parallel.h"
+
+namespace pimdl {
+
+LutWorkloadShape
+lutShapeFor(const LutLayer &layer, std::size_t rows)
+{
+    LutWorkloadShape shape;
+    shape.n = rows;
+    shape.cb = layer.shape().codebooks();
+    shape.ct = layer.shape().centroids;
+    shape.f = layer.shape().output_dim;
+    return shape;
+}
+
+DistributedLutResult
+runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
+                  const IndexMatrix &indices, const LutMapping &mapping,
+                  bool quantized)
+{
+    const LutWorkloadShape shape = lutShapeFor(layer, indices.rows);
+    std::string reason;
+    PIMDL_REQUIRE(mappingIsLegal(platform, shape, mapping, &reason),
+                  "illegal mapping: " + reason);
+    PIMDL_REQUIRE(!quantized || layer.hasQuantizedTables(),
+                  "quantized run requires quantizeTables()");
+
+    DistributedLutResult result;
+    result.cost = evaluateLutMapping(platform, shape, mapping);
+    result.pes_used = mapping.totalPes(shape);
+
+    const std::size_t groups = mapping.groups(shape);
+    const std::size_t lanes = mapping.pesPerGroup(shape);
+    const std::size_t cb = shape.cb;
+
+    result.output = Tensor(shape.n, shape.f);
+    Tensor &out = result.output;
+
+    // Each simulated PE (group g, lane l) reduces its own tile.
+    parallelFor(groups * lanes, [&](std::size_t pe) {
+        const std::size_t g = pe / lanes;
+        const std::size_t l = pe % lanes;
+        const std::size_t row0 = g * mapping.ns_tile;
+        const std::size_t col0 = l * mapping.fs_tile;
+
+        if (quantized) {
+            // INT8 LUT entries, INT32 on-PE accumulators; the host
+            // dequantizes after gathering.
+            const float scale = layer.quantScale();
+            std::vector<std::int32_t> acc(mapping.fs_tile);
+            for (std::size_t r = 0; r < mapping.ns_tile; ++r) {
+                std::fill(acc.begin(), acc.end(), 0);
+                for (std::size_t c = 0; c < cb; ++c) {
+                    const std::size_t idx = indices.at(row0 + r, c);
+                    for (std::size_t fcol = 0; fcol < mapping.fs_tile;
+                         ++fcol)
+                        acc[fcol] += layer.quantLutValue(c, idx,
+                                                         col0 + fcol);
+                }
+                float *dst = out.rowPtr(row0 + r) + col0;
+                for (std::size_t fcol = 0; fcol < mapping.fs_tile; ++fcol)
+                    dst[fcol] = static_cast<float>(acc[fcol]) * scale;
+            }
+        } else {
+            for (std::size_t r = 0; r < mapping.ns_tile; ++r) {
+                float *dst = out.rowPtr(row0 + r) + col0;
+                for (std::size_t c = 0; c < cb; ++c) {
+                    const std::size_t idx = indices.at(row0 + r, c);
+                    for (std::size_t fcol = 0; fcol < mapping.fs_tile;
+                         ++fcol)
+                        dst[fcol] += layer.lutValue(c, idx, col0 + fcol);
+                }
+            }
+        }
+    });
+
+    // Bias is applied host-side after gathering (element-wise op).
+    if (!layer.bias().empty()) {
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            float *dst = out.rowPtr(r);
+            for (std::size_t fcol = 0; fcol < out.cols(); ++fcol)
+                dst[fcol] += layer.bias()[fcol];
+        }
+    }
+    return result;
+}
+
+} // namespace pimdl

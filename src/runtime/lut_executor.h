@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Functional distributed execution of a LUT operator across simulated
+ * DRAM-PIM PEs under a sub-LUT partition (paper Figure 8-(a)), paired
+ * with the analytical latency of the mapping.
+ *
+ * The PE computation is bit-faithful: each PE owns its (ns_tile x
+ * fs_tile) output tile, receives the broadcast index tile of its group
+ * and the LUT tile of its lane, and reduces locally — exactly the
+ * dataflow the partition scheme prescribes (no inter-PE traffic, no
+ * partial-sum merging on the host).
+ */
+
+#ifndef PIMDL_RUNTIME_LUT_EXECUTOR_H
+#define PIMDL_RUNTIME_LUT_EXECUTOR_H
+
+#include "lutnn/lut_layer.h"
+#include "tuner/cost_model.h"
+
+namespace pimdl {
+
+/** Result of one distributed LUT execution. */
+struct DistributedLutResult
+{
+    /** N x F output assembled from the per-PE tiles. */
+    Tensor output;
+    /** Analytical latency/traffic breakdown for the mapping. */
+    LutCostBreakdown cost;
+    /** PEs the partition occupied. */
+    std::size_t pes_used = 0;
+};
+
+/**
+ * Runs @p layer's LUT operator for @p indices on the simulated platform
+ * under @p mapping. When @p quantized is true the PEs reduce the INT8
+ * LUT with INT32 accumulators (the UPMEM deployment mode).
+ *
+ * Throws (via PIMDL_REQUIRE) if the mapping is illegal for the shape.
+ */
+DistributedLutResult runDistributedLut(const PimPlatformConfig &platform,
+                                       const LutLayer &layer,
+                                       const IndexMatrix &indices,
+                                       const LutMapping &mapping,
+                                       bool quantized);
+
+/** Builds the tuner workload shape for a LUT layer and row count. */
+LutWorkloadShape lutShapeFor(const LutLayer &layer, std::size_t rows);
+
+} // namespace pimdl
+
+#endif // PIMDL_RUNTIME_LUT_EXECUTOR_H

@@ -1,0 +1,148 @@
+#include "serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pimdl {
+
+ServingSimulator::ServingSimulator(const PimDlEngine &engine,
+                                   const TransformerConfig &model,
+                                   const LutNnParams &params)
+    : engine_(engine), model_(model), params_(params)
+{}
+
+double
+ServingSimulator::batchLatency(std::size_t batch, bool pipelined) const
+{
+    PIMDL_REQUIRE(batch > 0, "batch must be positive");
+    const auto key = std::make_pair(batch, pipelined);
+    const auto it = latency_cache_.find(key);
+    if (it != latency_cache_.end())
+        return it->second;
+
+    TransformerConfig cfg = model_;
+    cfg.batch = batch;
+    const InferenceEstimate est =
+        pipelined ? engine_.estimatePimDlPipelined(cfg, params_)
+                  : engine_.estimatePimDl(cfg, params_);
+    latency_cache_.emplace(key, est.total_s);
+    return est.total_s;
+}
+
+ServingStats
+ServingSimulator::simulate(const ServingConfig &config) const
+{
+    PIMDL_REQUIRE(config.arrival_rate > 0.0 && config.horizon_s > 0.0,
+                  "serving config must have positive rate and horizon");
+    PIMDL_REQUIRE(config.max_batch > 0, "max_batch must be positive");
+
+    // Generate Poisson arrivals across the horizon.
+    Rng rng(config.seed);
+    std::vector<double> arrivals;
+    double t = 0.0;
+    while (true) {
+        const double u = std::max(1e-12f, rng.uniform());
+        t += -std::log(u) / config.arrival_rate;
+        if (t >= config.horizon_s)
+            break;
+        arrivals.push_back(t);
+    }
+
+    ServingStats stats;
+    stats.requests = arrivals.size();
+    if (arrivals.empty())
+        return stats;
+
+    std::vector<double> latencies;
+    latencies.reserve(arrivals.size());
+
+    std::deque<double> queue; // arrival times of waiting requests
+    std::size_t next_arrival = 0;
+    double now = 0.0;
+    double busy = 0.0;
+    double batch_size_sum = 0.0;
+
+    while (next_arrival < arrivals.size() || !queue.empty()) {
+        // Admit everything that has arrived by `now`.
+        while (next_arrival < arrivals.size() &&
+               arrivals[next_arrival] <= now) {
+            queue.push_back(arrivals[next_arrival]);
+            ++next_arrival;
+        }
+
+        if (queue.empty()) {
+            // Idle until the next arrival.
+            now = arrivals[next_arrival];
+            continue;
+        }
+
+        // Dispatch decision: full batch, or deadline hit, or no more
+        // arrivals will ever come. The epsilon guards against the
+        // rounding of (front + max_wait) - front landing one ULP under
+        // max_wait, which would stall the clock.
+        constexpr double kEps = 1e-9;
+        const bool full = queue.size() >= config.max_batch;
+        const bool deadline =
+            now - queue.front() >= config.max_wait_s - kEps;
+        const bool drained = next_arrival >= arrivals.size();
+        if (!full && !deadline && !drained) {
+            // Wait for whichever comes first: batch-filling arrival or
+            // the oldest request's deadline.
+            const double next_deadline =
+                queue.front() + config.max_wait_s;
+            const double target =
+                std::min(arrivals[next_arrival], next_deadline);
+            // Guarantee forward progress regardless of rounding.
+            now = std::max(target, now + kEps);
+            continue;
+        }
+
+        const std::size_t batch =
+            std::min<std::size_t>(queue.size(), config.max_batch);
+        std::size_t shape_batch = batch;
+        if (config.pow2_buckets) {
+            std::size_t padded = 1;
+            while (padded < batch)
+                padded <<= 1;
+            shape_batch = std::min(padded, config.max_batch);
+        }
+        const double service = batchLatency(shape_batch, config.pipelined);
+        const double done = now + service;
+        for (std::size_t i = 0; i < batch; ++i) {
+            latencies.push_back(done - queue.front());
+            queue.pop_front();
+        }
+        busy += service;
+        batch_size_sum += static_cast<double>(batch);
+        ++stats.batches;
+        now = done;
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    auto percentile = [&](double p) {
+        const std::size_t idx = static_cast<std::size_t>(
+            p * static_cast<double>(latencies.size() - 1));
+        return latencies[idx];
+    };
+
+    double sum = 0.0;
+    for (double l : latencies)
+        sum += l;
+
+    stats.mean_batch_size =
+        batch_size_sum / static_cast<double>(stats.batches);
+    stats.throughput_rps =
+        static_cast<double>(latencies.size()) / std::max(now, 1e-9);
+    stats.mean_latency_s = sum / static_cast<double>(latencies.size());
+    stats.p50_latency_s = percentile(0.50);
+    stats.p95_latency_s = percentile(0.95);
+    stats.p99_latency_s = percentile(0.99);
+    stats.utilization = busy / std::max(now, 1e-9);
+    return stats;
+}
+
+} // namespace pimdl

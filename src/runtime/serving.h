@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Discrete-event batched-serving simulator.
+ *
+ * The paper motivates PIM-DL with cloud serving scenarios that "require
+ * batched inference" (Section 2.2). This module closes the loop: Poisson
+ * request arrivals feed a batching queue in front of one PIM-DL engine;
+ * batches dispatch when full or when the oldest request has waited past
+ * a deadline, and per-batch latency comes from the engine's estimate.
+ * Outputs are the serving metrics an operator cares about: throughput,
+ * latency percentiles, mean batch size, and device utilization.
+ */
+
+#ifndef PIMDL_RUNTIME_SERVING_H
+#define PIMDL_RUNTIME_SERVING_H
+
+#include "runtime/engine.h"
+
+namespace pimdl {
+
+/** Workload and policy of one serving simulation. */
+struct ServingConfig
+{
+    /** Mean request arrival rate, requests/second (Poisson process). */
+    double arrival_rate = 10.0;
+    /** Largest batch the engine accepts. */
+    std::size_t max_batch = 64;
+    /** Dispatch a partial batch once its oldest request waited this long. */
+    double max_wait_s = 0.5;
+    /** Simulated wall-clock span, seconds. */
+    double horizon_s = 300.0;
+    /** Use the pipelined engine estimate (CCS/LUT overlap). */
+    bool pipelined = false;
+    /**
+     * Pad dispatched batches up to the next power of two (bounded by
+     * max_batch): standard bucketing that bounds the number of distinct
+     * kernel shapes the auto-tuner must plan for.
+     */
+    bool pow2_buckets = true;
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate metrics of a simulation run. */
+struct ServingStats
+{
+    std::size_t requests = 0;
+    std::size_t batches = 0;
+    double mean_batch_size = 0.0;
+    /** Completed requests per second of simulated time. */
+    double throughput_rps = 0.0;
+    /** Request latency (queueing + service), seconds. */
+    double mean_latency_s = 0.0;
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+    /** Fraction of the horizon the engine spent serving. */
+    double utilization = 0.0;
+};
+
+/**
+ * Simulates batched serving of @p model (its batch field is overridden
+ * per dispatched batch) on one PIM-DL engine.
+ */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(const PimDlEngine &engine,
+                     const TransformerConfig &model,
+                     const LutNnParams &params);
+
+    /** Runs one simulation; deterministic for a fixed config. */
+    ServingStats simulate(const ServingConfig &config) const;
+
+    /** Engine latency for a given batch size (memoized per instance). */
+    double batchLatency(std::size_t batch, bool pipelined) const;
+
+  private:
+    const PimDlEngine &engine_;
+    TransformerConfig model_;
+    LutNnParams params_;
+    /** Memoized per (batch, pipelined) latency. */
+    mutable std::map<std::pair<std::size_t, bool>, double> latency_cache_;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_RUNTIME_SERVING_H

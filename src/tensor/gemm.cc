@@ -1,0 +1,101 @@
+#include "gemm.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace pimdl {
+
+Tensor
+gemmNaive(const Tensor &a, const Tensor &b)
+{
+    PIMDL_REQUIRE(a.cols() == b.rows(), "gemm inner dim mismatch");
+    Tensor c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float av = a(i, k);
+            const float *brow = b.rowPtr(k);
+            float *crow = c.rowPtr(i);
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+namespace {
+
+/// Cache-block edge in each dimension; sized so three blocks fit in L2.
+constexpr std::size_t kBlock = 64;
+
+void
+gemmBlockRange(const Tensor &a, const Tensor &b, Tensor &c,
+               std::size_t row_begin, std::size_t row_end)
+{
+    const std::size_t h = a.cols();
+    const std::size_t f = b.cols();
+    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlock) {
+        const std::size_t i1 = std::min(row_end, i0 + kBlock);
+        for (std::size_t k0 = 0; k0 < h; k0 += kBlock) {
+            const std::size_t k1 = std::min(h, k0 + kBlock);
+            for (std::size_t j0 = 0; j0 < f; j0 += kBlock) {
+                const std::size_t j1 = std::min(f, j0 + kBlock);
+                for (std::size_t i = i0; i < i1; ++i) {
+                    float *crow = c.rowPtr(i);
+                    for (std::size_t k = k0; k < k1; ++k) {
+                        const float av = a(i, k);
+                        const float *brow = b.rowPtr(k);
+                        for (std::size_t j = j0; j < j1; ++j)
+                            crow[j] += av * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tensor
+gemm(const Tensor &a, const Tensor &b)
+{
+    PIMDL_REQUIRE(a.cols() == b.rows(), "gemm inner dim mismatch");
+    Tensor c(a.rows(), b.cols());
+
+    const std::size_t shards = parallelWorkerCount();
+    if (shards <= 1 || a.rows() < 2 * kBlock) {
+        gemmBlockRange(a, b, c, 0, a.rows());
+        return c;
+    }
+
+    const std::size_t rows_per_shard = (a.rows() + shards - 1) / shards;
+    parallelFor(shards, [&](std::size_t s) {
+        const std::size_t begin = s * rows_per_shard;
+        const std::size_t end = std::min(a.rows(), begin + rows_per_shard);
+        if (begin < end)
+            gemmBlockRange(a, b, c, begin, end);
+    });
+    return c;
+}
+
+Tensor
+gemmBias(const Tensor &a, const Tensor &b, const std::vector<float> &bias)
+{
+    PIMDL_REQUIRE(bias.size() == b.cols(), "bias length mismatch");
+    Tensor c = gemm(a, b);
+    for (std::size_t i = 0; i < c.rows(); ++i) {
+        float *crow = c.rowPtr(i);
+        for (std::size_t j = 0; j < c.cols(); ++j)
+            crow[j] += bias[j];
+    }
+    return c;
+}
+
+double
+gemmFlops(std::size_t n, std::size_t h, std::size_t f)
+{
+    return 2.0 * static_cast<double>(n) * static_cast<double>(h) *
+           static_cast<double>(f);
+}
+
+} // namespace pimdl

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * General matrix-matrix multiplication kernels.
+ *
+ * These implement the GEMM baseline that LUT-NN replaces. A cache-blocked
+ * multithreaded kernel provides the functional reference; the naive kernel
+ * exists for differential testing.
+ */
+
+#ifndef PIMDL_TENSOR_GEMM_H
+#define PIMDL_TENSOR_GEMM_H
+
+#include "tensor/tensor.h"
+
+namespace pimdl {
+
+/** Computes C = A (n x h) * B (h x f) with a triple loop; test oracle. */
+Tensor gemmNaive(const Tensor &a, const Tensor &b);
+
+/**
+ * Computes C = A * B with cache blocking and row-parallel sharding.
+ * Functionally identical to gemmNaive up to FP32 accumulation order.
+ */
+Tensor gemm(const Tensor &a, const Tensor &b);
+
+/** Computes C = A * B + bias, broadcasting bias (length f) over rows. */
+Tensor gemmBias(const Tensor &a, const Tensor &b, const std::vector<float> &bias);
+
+/** Returns the multiply-accumulate FLOP count of an (n,h)x(h,f) GEMM. */
+double gemmFlops(std::size_t n, std::size_t h, std::size_t f);
+
+} // namespace pimdl
+
+#endif // PIMDL_TENSOR_GEMM_H

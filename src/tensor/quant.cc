@@ -1,0 +1,44 @@
+#include "quant.h"
+
+#include <cmath>
+
+namespace pimdl {
+
+QuantizedTensor
+quantizeSymmetric(const Tensor &t)
+{
+    QuantizedTensor q;
+    q.rows = t.rows();
+    q.cols = t.cols();
+    q.data.resize(t.size());
+
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < t.size(); ++i)
+        max_abs = std::max(max_abs, std::fabs(t.data()[i]));
+    q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+
+    const float inv_scale = 1.0f / q.scale;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const float scaled = t.data()[i] * inv_scale;
+        const float clamped = std::max(-127.0f, std::min(127.0f, scaled));
+        q.data[i] = static_cast<std::int8_t>(std::lround(clamped));
+    }
+    return q;
+}
+
+Tensor
+dequantize(const QuantizedTensor &q)
+{
+    Tensor out(q.rows, q.cols);
+    for (std::size_t i = 0; i < q.data.size(); ++i)
+        out.data()[i] = static_cast<float>(q.data[i]) * q.scale;
+    return out;
+}
+
+float
+quantStepBound(const QuantizedTensor &q)
+{
+    return 0.5f * q.scale;
+}
+
+} // namespace pimdl

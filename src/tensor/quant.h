@@ -1,0 +1,57 @@
+/**
+ * @file
+ * INT8 symmetric quantization.
+ *
+ * The paper quantizes LUTs to INT8 before offloading to UPMEM (Section 6.3,
+ * "<= 0.1% accuracy drop"); the CPU INT8 baselines use the same scheme.
+ */
+
+#ifndef PIMDL_TENSOR_QUANT_H
+#define PIMDL_TENSOR_QUANT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pimdl {
+
+/** An INT8 tensor with a single symmetric scale (value = q * scale). */
+struct QuantizedTensor
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    float scale = 1.0f;
+    std::vector<std::int8_t> data;
+
+    /** Unchecked element access. */
+    std::int8_t at(std::size_t r, std::size_t c) const
+    {
+        return data[r * cols + c];
+    }
+
+    /** Returns the dequantized float value at (r, c). */
+    float dequantAt(std::size_t r, std::size_t c) const
+    {
+        return static_cast<float>(at(r, c)) * scale;
+    }
+
+    /** Size of the quantized payload in bytes. */
+    std::size_t byteSize() const { return data.size(); }
+};
+
+/** Quantizes @p t symmetrically so that max|t| maps to 127. */
+QuantizedTensor quantizeSymmetric(const Tensor &t);
+
+/** Dequantizes back to FP32. */
+Tensor dequantize(const QuantizedTensor &q);
+
+/**
+ * Returns the worst-case elementwise quantization error bound for @p q
+ * (half of one quantization step).
+ */
+float quantStepBound(const QuantizedTensor &q);
+
+} // namespace pimdl
+
+#endif // PIMDL_TENSOR_QUANT_H

@@ -1,0 +1,130 @@
+#include "tensor.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pimdl {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    PIMDL_REQUIRE(data_.size() == rows_ * cols_,
+                  "tensor data size does not match shape");
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &v : data_)
+        v = value;
+}
+
+void
+Tensor::fillGaussian(Rng &rng, float mean, float stddev)
+{
+    for (auto &v : data_)
+        v = rng.gaussian(mean, stddev);
+}
+
+void
+Tensor::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &v : data_)
+        v = rng.uniform(lo, hi);
+}
+
+void
+Tensor::reshape(std::size_t rows, std::size_t cols)
+{
+    PIMDL_REQUIRE(rows * cols == data_.size(),
+                  "reshape must preserve element count");
+    rows_ = rows;
+    cols_ = cols;
+}
+
+Tensor
+Tensor::transposed() const
+{
+    Tensor out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const float *src = rowPtr(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = src[c];
+    }
+    return out;
+}
+
+Tensor
+Tensor::rowSlice(std::size_t begin, std::size_t end) const
+{
+    PIMDL_REQUIRE(begin <= end && end <= rows_, "row slice out of range");
+    Tensor out(end - begin, cols_);
+    for (std::size_t r = begin; r < end; ++r) {
+        const float *src = rowPtr(r);
+        float *dst = out.rowPtr(r - begin);
+        for (std::size_t c = 0; c < cols_; ++c)
+            dst[c] = src[c];
+    }
+    return out;
+}
+
+Tensor
+Tensor::colSlice(std::size_t begin, std::size_t end) const
+{
+    PIMDL_REQUIRE(begin <= end && end <= cols_, "col slice out of range");
+    Tensor out(rows_, end - begin);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const float *src = rowPtr(r);
+        float *dst = out.rowPtr(r);
+        for (std::size_t c = begin; c < end; ++c)
+            dst[c - begin] = src[c];
+    }
+    return out;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    PIMDL_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "shape mismatch in maxAbsDiff");
+    float max_diff = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const float d = std::fabs(a.data()[i] - b.data()[i]);
+        if (d > max_diff)
+            max_diff = d;
+    }
+    return max_diff;
+}
+
+float
+frobeniusNorm(const Tensor &t)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const double v = t.data()[i];
+        sum += v * v;
+    }
+    return static_cast<float>(std::sqrt(sum));
+}
+
+float
+relativeError(const Tensor &approx, const Tensor &reference)
+{
+    PIMDL_REQUIRE(approx.rows() == reference.rows() &&
+                      approx.cols() == reference.cols(),
+                  "shape mismatch in relativeError");
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < approx.size(); ++i) {
+        const double d = approx.data()[i] - reference.data()[i];
+        const double r = reference.data()[i];
+        num += d * d;
+        den += r * r;
+    }
+    if (den == 0.0)
+        return static_cast<float>(std::sqrt(num));
+    return static_cast<float>(std::sqrt(num / den));
+}
+
+} // namespace pimdl

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Dense row-major FP32 matrix type used across PIM-DL.
+ *
+ * The tensor substrate is deliberately matrix-shaped (rows x cols): every
+ * operator in the transformer inference path (GEMM, LUT lookup, layernorm,
+ * softmax, attention) is expressible over 2-D views with batch and sequence
+ * dims flattened into rows, which matches how the paper maps workloads onto
+ * DRAM-PIM PEs (the N dim of the LUT operator is batch*seq).
+ */
+
+#ifndef PIMDL_TENSOR_TENSOR_H
+#define PIMDL_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pimdl {
+
+class Rng;
+
+/** A dense row-major matrix of float32 values. */
+class Tensor
+{
+  public:
+    /** Creates an empty 0x0 tensor. */
+    Tensor() = default;
+
+    /** Creates a zero-initialized @p rows x @p cols tensor. */
+    Tensor(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    /** Creates a tensor taking ownership of @p data (size rows*cols). */
+    Tensor(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+    /** Returns the number of rows. */
+    std::size_t rows() const { return rows_; }
+
+    /** Returns the number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** Returns the total element count. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Returns true when the tensor holds no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** Element access with debug-mode bounds checks. */
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        PIMDL_ASSERT(r < rows_ && c < cols_, "tensor index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Const element access with debug-mode bounds checks. */
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        PIMDL_ASSERT(r < rows_ && c < cols_, "tensor index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked element access for hot loops. */
+    float &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked const element access for hot loops. */
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Returns a pointer to the first element of row @p r. */
+    float *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+
+    /** Returns a const pointer to the first element of row @p r. */
+    const float *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Returns the backing storage. */
+    float *data() { return data_.data(); }
+
+    /** Returns the backing storage (const). */
+    const float *data() const { return data_.data(); }
+
+    /** Sets every element to @p value. */
+    void fill(float value);
+
+    /** Fills with N(mean, stddev) samples drawn from @p rng. */
+    void fillGaussian(Rng &rng, float mean = 0.0f, float stddev = 1.0f);
+
+    /** Fills with U[lo, hi) samples drawn from @p rng. */
+    void fillUniform(Rng &rng, float lo = 0.0f, float hi = 1.0f);
+
+    /** Reinterprets the data as @p rows x @p cols (size must match). */
+    void reshape(std::size_t rows, std::size_t cols);
+
+    /** Returns the transpose as a new tensor. */
+    Tensor transposed() const;
+
+    /** Returns a copy of rows [begin, end). */
+    Tensor rowSlice(std::size_t begin, std::size_t end) const;
+
+    /** Returns a copy of columns [begin, end). */
+    Tensor colSlice(std::size_t begin, std::size_t end) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Returns the max absolute elementwise difference between two tensors. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** Returns the Frobenius norm of @p t. */
+float frobeniusNorm(const Tensor &t);
+
+/**
+ * Returns the relative Frobenius error ||a - b||_F / ||b||_F, treating a
+ * zero reference as an absolute comparison.
+ */
+float relativeError(const Tensor &approx, const Tensor &reference);
+
+} // namespace pimdl
+
+#endif // PIMDL_TENSOR_TENSOR_H

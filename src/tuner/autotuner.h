@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The PIM-DL Auto-Tuner (paper Section 5.3, Algorithm 1): exhaustively
+ * walks the legal sub-LUT tiling factors, searches each micro-kernel
+ * mapping space (tiling factors x traversal order x load scheme), and
+ * returns the minimum-latency mapping under the analytical cost model.
+ */
+
+#ifndef PIMDL_TUNER_AUTOTUNER_H
+#define PIMDL_TUNER_AUTOTUNER_H
+
+#include <vector>
+
+#include "tuner/cost_model.h"
+
+namespace pimdl {
+
+/** Outcome of an auto-tuning run. */
+struct AutoTuneResult
+{
+    bool found = false;
+    LutMapping mapping;
+    LutCostBreakdown cost;
+    /** Number of candidate mappings evaluated. */
+    std::size_t evaluated = 0;
+};
+
+/** Options bounding the tuner's search. */
+struct AutoTuneOptions
+{
+    /** Restrict tile factor candidates to powers of two. */
+    bool power_of_two_tiles = true;
+    /** Require the mapping to occupy every platform PE (Eq. 5). */
+    bool require_full_pe_use = false;
+    /** Restrict the search to one load scheme (for ablations). */
+    bool fix_scheme = false;
+    LutLoadScheme scheme = LutLoadScheme::CoarseGrain;
+    /**
+     * Cap on the number of tile-factor candidates per dimension; large
+     * lists are thinned (endpoints kept) to bound Algorithm 1's walk.
+     */
+    std::size_t max_tile_candidates = 8;
+};
+
+/** Offline mapping search for LUT operators on a DRAM-PIM platform. */
+class AutoTuner
+{
+  public:
+    explicit AutoTuner(PimPlatformConfig platform,
+                       AutoTuneOptions options = {});
+
+    /** Algorithm 1: full search over P1-P4. */
+    AutoTuneResult tune(const LutWorkloadShape &shape) const;
+
+    /**
+     * KernelSearch of Algorithm 1: best micro-kernel mapping for a fixed
+     * sub-LUT tiling (ns_tile, fs_tile).
+     */
+    AutoTuneResult kernelSearch(const LutWorkloadShape &shape,
+                                std::size_t ns_tile,
+                                std::size_t fs_tile) const;
+
+    /** Legal (ns_tile, fs_tile) pairs for the shape on this platform. */
+    std::vector<std::pair<std::size_t, std::size_t>>
+    legalSubLutTilings(const LutWorkloadShape &shape) const;
+
+    const PimPlatformConfig &platform() const { return platform_; }
+
+  private:
+    PimPlatformConfig platform_;
+    AutoTuneOptions options_;
+
+    /** Complete (pow2-filtered) divisor list for sub-LUT factors. */
+    std::vector<std::size_t> subLutCandidates(std::size_t total) const;
+
+    /** Thinned candidate list for micro-kernel tile factors. */
+    std::vector<std::size_t> tileCandidates(std::size_t total) const;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_TUNER_AUTOTUNER_H

@@ -1,0 +1,128 @@
+#include "cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace pimdl {
+
+IndexSkewStats
+measureIndexSkew(const IndexMatrix &indices, std::size_t ct)
+{
+    PIMDL_REQUIRE(ct > 0 && indices.rows > 0 && indices.cols > 0,
+                  "empty index stream");
+    IndexSkewStats stats;
+    stats.centroids = ct;
+    stats.coverage.assign(ct + 1, 0.0);
+
+    double entropy_sum = 0.0;
+    double top1_sum = 0.0;
+    std::vector<double> counts(ct);
+    for (std::size_t cb = 0; cb < indices.cols; ++cb) {
+        std::fill(counts.begin(), counts.end(), 0.0);
+        for (std::size_t r = 0; r < indices.rows; ++r) {
+            const std::size_t idx = indices.at(r, cb);
+            PIMDL_REQUIRE(idx < ct, "index exceeds centroid count");
+            counts[idx] += 1.0;
+        }
+        std::sort(counts.begin(), counts.end(), std::greater<>());
+        const double total = static_cast<double>(indices.rows);
+        double entropy = 0.0;
+        double running = 0.0;
+        for (std::size_t k = 0; k < ct; ++k) {
+            const double p = counts[k] / total;
+            if (p > 0.0)
+                entropy -= p * std::log2(p);
+            running += p;
+            stats.coverage[k + 1] += running;
+        }
+        entropy_sum += entropy;
+        top1_sum += counts[0] / total;
+    }
+
+    const double cbs = static_cast<double>(indices.cols);
+    stats.entropy_bits = entropy_sum / cbs;
+    stats.top1_coverage = top1_sum / cbs;
+    for (auto &c : stats.coverage)
+        c /= cbs;
+    return stats;
+}
+
+CachedLutEstimate
+estimateCachedLut(const PimPlatformConfig &platform,
+                  const LutWorkloadShape &shape, const LutMapping &mapping,
+                  const IndexSkewStats &skew, double cache_bytes)
+{
+    CachedLutEstimate est;
+    const LutCostBreakdown base =
+        evaluateLutMapping(platform, shape, mapping);
+    PIMDL_REQUIRE(base.legal, "cache model needs a legal mapping");
+    est.t_ld_lut_base = base.t_ld_lut;
+    est.total_base = base.total();
+
+    if (mapping.scheme == LutLoadScheme::Static) {
+        // The whole tile is already on-chip; nothing to cache.
+        est.t_ld_lut_cached = base.t_ld_lut;
+        est.total_cached = base.total();
+        return est;
+    }
+
+    // A cached row spans the mapped feature tile of this PE.
+    const double row_bytes =
+        static_cast<double>(mapping.fs_tile) * platform.lut_dtype_bytes;
+    const double rows_total =
+        cache_bytes / std::max(1.0, row_bytes);
+    est.cached_rows_per_codebook = static_cast<std::size_t>(
+        rows_total / std::max<std::size_t>(1, shape.cb));
+
+    const std::size_t k = std::min(
+        est.cached_rows_per_codebook,
+        skew.coverage.empty() ? 0 : skew.coverage.size() - 1);
+    est.hit_rate = k > 0 ? skew.coverage[k] : 0.0;
+
+    est.t_ld_lut_cached = base.t_ld_lut * (1.0 - est.hit_rate);
+    est.total_cached = base.total() - base.t_ld_lut + est.t_ld_lut_cached;
+    return est;
+}
+
+IndexMatrix
+makeZipfIndexStream(std::size_t rows, std::size_t cb, std::size_t ct,
+                    double alpha, std::uint64_t seed)
+{
+    PIMDL_REQUIRE(ct > 0, "need at least one centroid");
+    Rng rng(seed);
+
+    // Per-codebook random permutation so the hot centroid differs per
+    // column, with a shared Zipf(alpha) rank distribution.
+    std::vector<double> cdf(ct);
+    double total = 0.0;
+    for (std::size_t k = 0; k < ct; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+        cdf[k] = total;
+    }
+    for (auto &c : cdf)
+        c /= total;
+
+    std::vector<std::vector<std::uint16_t>> perms(cb);
+    for (std::size_t c = 0; c < cb; ++c) {
+        perms[c].resize(ct);
+        for (std::size_t k = 0; k < ct; ++k)
+            perms[c][k] = static_cast<std::uint16_t>(k);
+        std::shuffle(perms[c].begin(), perms[c].end(), rng.engine());
+    }
+
+    IndexMatrix indices(rows, cb);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cb; ++c) {
+            const double u = rng.uniform();
+            const std::size_t rank = static_cast<std::size_t>(
+                std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+            indices.at(r, c) = perms[c][std::min(rank, ct - 1)];
+        }
+    }
+    return indices;
+}
+
+} // namespace pimdl

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hot-entry LUT caching model (paper Section 7, "On-chip Buffer
+ * Management Support").
+ *
+ * The LUT access stream is index-driven and may skew toward a few "hot"
+ * centroids. A PE that dedicates part of its buffer to caching hot LUT
+ * rows can serve those lookups without local-memory traffic. The paper
+ * leaves this as future work; this module quantifies the opportunity:
+ * it measures the skew of real index streams and predicts the micro-
+ * kernel speedup of an ideal hot-row cache of a given capacity.
+ */
+
+#ifndef PIMDL_TUNER_CACHE_MODEL_H
+#define PIMDL_TUNER_CACHE_MODEL_H
+
+#include "lutnn/codebook.h"
+#include "tuner/cost_model.h"
+
+namespace pimdl {
+
+/** Distribution statistics of one index stream. */
+struct IndexSkewStats
+{
+    /** Centroid count CT the stream draws from. */
+    std::size_t centroids = 0;
+    /** Shannon entropy of the empirical index distribution, in bits. */
+    double entropy_bits = 0.0;
+    /** Fraction of accesses covered by the single hottest centroid. */
+    double top1_coverage = 0.0;
+    /**
+     * coverage[k] = fraction of accesses covered by the k hottest
+     * centroids (averaged over codebooks); size CT+1, coverage[0] = 0.
+     */
+    std::vector<double> coverage;
+};
+
+/** Measures the per-codebook-averaged skew of an index matrix. */
+IndexSkewStats measureIndexSkew(const IndexMatrix &indices, std::size_t ct);
+
+/** Outcome of applying a hot-row cache to a mapping's LUT traffic. */
+struct CachedLutEstimate
+{
+    /** Hot LUT rows the buffer can hold per codebook. */
+    std::size_t cached_rows_per_codebook = 0;
+    /** Fraction of lookups served from the cache. */
+    double hit_rate = 0.0;
+    /** Micro-kernel LUT-load seconds without / with the cache. */
+    double t_ld_lut_base = 0.0;
+    double t_ld_lut_cached = 0.0;
+    /** Whole-operator seconds without / with the cache. */
+    double total_base = 0.0;
+    double total_cached = 0.0;
+
+    double speedup() const
+    {
+        return total_cached > 0.0 ? total_base / total_cached : 0.0;
+    }
+};
+
+/**
+ * Predicts the effect of dedicating @p cache_bytes of each PE's buffer
+ * to hot LUT rows, given the measured skew of the index stream. Only
+ * the fine-grain and coarse-grain load schemes benefit (the static
+ * scheme already holds the whole tile on-chip).
+ */
+CachedLutEstimate estimateCachedLut(const PimPlatformConfig &platform,
+                                    const LutWorkloadShape &shape,
+                                    const LutMapping &mapping,
+                                    const IndexSkewStats &skew,
+                                    double cache_bytes);
+
+/**
+ * Generates a Zipf-skewed index matrix for what-if studies: centroid
+ * ranks are drawn with probability proportional to 1 / rank^alpha
+ * (alpha = 0 gives a uniform stream).
+ */
+IndexMatrix makeZipfIndexStream(std::size_t rows, std::size_t cb,
+                                std::size_t ct, double alpha,
+                                std::uint64_t seed);
+
+} // namespace pimdl
+
+#endif // PIMDL_TUNER_CACHE_MODEL_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Analytical performance model of LUT-NN execution on DRAM-PIMs,
+ * implementing the paper's Equations (3)-(10): sub-LUT partition cost
+ * (host<->PIM transfers) plus micro-kernel cost (PE-local transfers and
+ * reduce latency) under a given mapping.
+ */
+
+#ifndef PIMDL_TUNER_COST_MODEL_H
+#define PIMDL_TUNER_COST_MODEL_H
+
+#include <string>
+
+#include "pim/platform.h"
+#include "tuner/mapping.h"
+
+namespace pimdl {
+
+/** Full latency/traffic breakdown of one LUT operator execution. */
+struct LutCostBreakdown
+{
+    bool legal = false;
+    std::string illegal_reason;
+
+    // Sub-LUT partition stage (Eq. 3-4), seconds.
+    double t_sub_index = 0.0;
+    double t_sub_lut = 0.0;
+    double t_sub_output = 0.0;
+
+    // Micro-kernel stage (Eq. 6-10), seconds (per PE; PEs run in
+    // lock-step on identical tile shapes, so this is also wall time).
+    double t_ld_index = 0.0;
+    double t_ld_lut = 0.0;
+    double t_ld_output = 0.0;
+    double t_st_output = 0.0;
+    double t_reduce = 0.0;
+
+    double kernel_launch = 0.0;
+
+    /** Host<->PIM bytes actually moved (no broadcast duplicates). */
+    double link_bytes = 0.0;
+    /** Per-PE local-memory bytes streamed. */
+    double pe_stream_bytes = 0.0;
+
+    double subLutTotal() const
+    {
+        return t_sub_index + t_sub_lut + t_sub_output;
+    }
+
+    double microKernelTotal() const
+    {
+        return t_ld_index + t_ld_lut + t_ld_output + t_st_output + t_reduce;
+    }
+
+    double total() const
+    {
+        return subLutTotal() + microKernelTotal() + kernel_launch;
+    }
+};
+
+/**
+ * Evaluates the analytical model for @p mapping of @p shape on
+ * @p platform. Returns an illegal breakdown (legal == false, with a
+ * reason) when the mapping violates divisibility, PE-count, or buffer
+ * constraints.
+ */
+LutCostBreakdown evaluateLutMapping(const PimPlatformConfig &platform,
+                                    const LutWorkloadShape &shape,
+                                    const LutMapping &mapping);
+
+/**
+ * Checks only the structural constraints of @p mapping (divisibility,
+ * Eq. 5 PE count, buffer capacity); cheaper than a full evaluation.
+ */
+bool mappingIsLegal(const PimPlatformConfig &platform,
+                    const LutWorkloadShape &shape, const LutMapping &mapping,
+                    std::string *reason = nullptr);
+
+/** On-chip buffer bytes the mapping requires on each PE. */
+double mappingBufferBytes(const PimPlatformConfig &platform,
+                          const LutWorkloadShape &shape,
+                          const LutMapping &mapping);
+
+} // namespace pimdl
+
+#endif // PIMDL_TUNER_COST_MODEL_H

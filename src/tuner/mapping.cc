@@ -1,0 +1,55 @@
+#include "mapping.h"
+
+#include <sstream>
+
+namespace pimdl {
+
+const char *
+lutLoadSchemeName(LutLoadScheme scheme)
+{
+    switch (scheme) {
+      case LutLoadScheme::Static:
+        return "static";
+      case LutLoadScheme::CoarseGrain:
+        return "coarse";
+      case LutLoadScheme::FineGrain:
+        return "fine";
+    }
+    return "?";
+}
+
+const char *
+traversalOrderName(TraversalOrder order)
+{
+    switch (order) {
+      case TraversalOrder::NFC:
+        return "NFC";
+      case TraversalOrder::NCF:
+        return "NCF";
+      case TraversalOrder::FNC:
+        return "FNC";
+      case TraversalOrder::FCN:
+        return "FCN";
+      case TraversalOrder::CNF:
+        return "CNF";
+      case TraversalOrder::CFN:
+        return "CFN";
+    }
+    return "?";
+}
+
+std::string
+LutMapping::describe() const
+{
+    std::ostringstream oss;
+    oss << "s-tile(N=" << ns_tile << ",F=" << fs_tile << ") m-tile(N="
+        << nm_tile << ",F=" << fm_tile << ",CB=" << cbm_tile << ") order="
+        << traversalOrderName(order) << " scheme="
+        << lutLoadSchemeName(scheme);
+    if (scheme != LutLoadScheme::Static) {
+        oss << " load(CB=" << cb_load_tile << ",F=" << f_load_tile << ")";
+    }
+    return oss.str();
+}
+
+} // namespace pimdl

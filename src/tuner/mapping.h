@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The LUT-NN hardware-mapping parameter space (paper Section 5.3):
+ * P1 sub-LUT tiling factors, P2 micro-kernel tiling factors, P3 tile
+ * traversal order, P4 LUT load scheme.
+ */
+
+#ifndef PIMDL_TUNER_MAPPING_H
+#define PIMDL_TUNER_MAPPING_H
+
+#include <cstddef>
+#include <string>
+
+namespace pimdl {
+
+/** LUT load schemes (paper Figure 9). */
+enum class LutLoadScheme
+{
+    /** Whole per-PE LUT tile resides on-chip for the kernel's lifetime. */
+    Static,
+    /** All CT candidates of a codebook/feature block buffered per pass. */
+    CoarseGrain,
+    /** LUT elements fetched on demand per index. */
+    FineGrain,
+};
+
+/** Human-readable scheme name. */
+const char *lutLoadSchemeName(LutLoadScheme scheme);
+
+/**
+ * Traversal order of the micro-kernel tile loops, outermost first over
+ * the (N, F, CB) tile dimensions.
+ */
+enum class TraversalOrder
+{
+    NFC,
+    NCF,
+    FNC,
+    FCN,
+    CNF,
+    CFN,
+};
+
+/** Human-readable order name. */
+const char *traversalOrderName(TraversalOrder order);
+
+/** All six traversal orders, for sweeps. */
+inline constexpr TraversalOrder kAllTraversalOrders[] = {
+    TraversalOrder::NFC, TraversalOrder::NCF, TraversalOrder::FNC,
+    TraversalOrder::FCN, TraversalOrder::CNF, TraversalOrder::CFN,
+};
+
+/** Shape of one LUT operator (paper Table 2: N, CB, CT, F). */
+struct LutWorkloadShape
+{
+    std::size_t n = 0;
+    std::size_t cb = 0;
+    std::size_t ct = 0;
+    std::size_t f = 0;
+
+    /** Bytes per index element shipped to PIM. */
+    double index_dtype_bytes = 2.0;
+    /** Bytes per output element fetched back. */
+    double output_dtype_bytes = 4.0;
+
+    /** Total index matrix payload in bytes. */
+    double indexBytes() const
+    {
+        return static_cast<double>(n) * cb * index_dtype_bytes;
+    }
+};
+
+/** A complete mapping of a LUT operator onto a DRAM-PIM platform. */
+struct LutMapping
+{
+    // P1: sub-LUT partition.
+    std::size_t ns_tile = 0;
+    std::size_t fs_tile = 0;
+    // P2: micro-kernel tiling.
+    std::size_t nm_tile = 0;
+    std::size_t fm_tile = 0;
+    std::size_t cbm_tile = 0;
+    // P3.
+    TraversalOrder order = TraversalOrder::NFC;
+    // P4 plus the load factors for the non-static schemes.
+    LutLoadScheme scheme = LutLoadScheme::CoarseGrain;
+    std::size_t cb_load_tile = 1;
+    std::size_t f_load_tile = 1;
+
+    /** Number of PE groups (N / ns_tile). */
+    std::size_t groups(const LutWorkloadShape &shape) const
+    {
+        return shape.n / ns_tile;
+    }
+
+    /** PEs per group (F / fs_tile). */
+    std::size_t pesPerGroup(const LutWorkloadShape &shape) const
+    {
+        return shape.f / fs_tile;
+    }
+
+    /** Total PEs this mapping occupies (paper Eq. 5). */
+    std::size_t totalPes(const LutWorkloadShape &shape) const
+    {
+        return groups(shape) * pesPerGroup(shape);
+    }
+
+    /** Compact description for logs and bench output. */
+    std::string describe() const;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_TUNER_MAPPING_H

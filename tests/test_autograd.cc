@@ -1,0 +1,317 @@
+/** @file Autograd engine tests, including finite-difference grad checks. */
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace pimdl {
+namespace {
+
+using ag::Variable;
+
+/**
+ * Finite-difference gradient check: perturbs every element of @p leaf and
+ * compares the numerical derivative of @p scalar_fn with the autograd
+ * gradient.
+ */
+void
+gradCheck(Variable leaf, const std::function<Variable()> &scalar_fn,
+          float eps = 1e-3f, float tol = 2e-2f)
+{
+    leaf.zeroGrad();
+    Variable loss = scalar_fn();
+    loss.backward();
+    Tensor analytic = leaf.grad();
+    ASSERT_FALSE(analytic.empty());
+
+    for (std::size_t i = 0; i < leaf.value().size(); ++i) {
+        const float original = leaf.mutableValue().data()[i];
+        leaf.mutableValue().data()[i] = original + eps;
+        const float up = scalar_fn().value()(0, 0);
+        leaf.mutableValue().data()[i] = original - eps;
+        const float down = scalar_fn().value()(0, 0);
+        leaf.mutableValue().data()[i] = original;
+        const float fd = (up - down) / (2.0f * eps);
+        EXPECT_NEAR(analytic.data()[i], fd,
+                    tol * std::max(1.0f, std::fabs(fd)))
+            << "element " << i;
+    }
+}
+
+Tensor
+randomTensor(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(r, c);
+    t.fillGaussian(rng);
+    return t;
+}
+
+TEST(Autograd, BackwardRequiresScalar)
+{
+    Variable x = Variable::leaf(randomTensor(2, 2, 1), true);
+    Variable y = ag::mulScalar(x, 2.0f);
+    EXPECT_THROW(y.backward(), std::runtime_error);
+}
+
+TEST(Autograd, MatmulGradA)
+{
+    Variable a = Variable::leaf(randomTensor(3, 4, 2), true);
+    Variable b = Variable::leaf(randomTensor(4, 2, 3), false);
+    Variable target = Variable::leaf(randomTensor(3, 2, 4), false);
+    gradCheck(a, [&] {
+        return ag::mseLoss(ag::matmul(a, b), target);
+    });
+}
+
+TEST(Autograd, MatmulGradB)
+{
+    Variable a = Variable::leaf(randomTensor(3, 4, 5), false);
+    Variable b = Variable::leaf(randomTensor(4, 2, 6), true);
+    Variable target = Variable::leaf(randomTensor(3, 2, 7), false);
+    gradCheck(b, [&] {
+        return ag::mseLoss(ag::matmul(a, b), target);
+    });
+}
+
+TEST(Autograd, AddAndSubGrad)
+{
+    Variable a = Variable::leaf(randomTensor(2, 3, 8), true);
+    Variable b = Variable::leaf(randomTensor(2, 3, 9), false);
+    Variable t = Variable::leaf(randomTensor(2, 3, 10), false);
+    gradCheck(a, [&] {
+        return ag::mseLoss(ag::sub(ag::add(a, b), b), t);
+    });
+}
+
+TEST(Autograd, BiasBroadcastGrad)
+{
+    Variable x = Variable::leaf(randomTensor(4, 3, 11), false);
+    Variable bias = Variable::leaf(randomTensor(1, 3, 12), true);
+    Variable t = Variable::leaf(randomTensor(4, 3, 13), false);
+    gradCheck(bias, [&] {
+        return ag::mseLoss(ag::addRowBroadcast(x, bias), t);
+    });
+}
+
+TEST(Autograd, GeluGrad)
+{
+    Variable x = Variable::leaf(randomTensor(2, 5, 14), true);
+    Variable t = Variable::leaf(randomTensor(2, 5, 15), false);
+    gradCheck(x, [&] { return ag::mseLoss(ag::gelu(x), t); });
+}
+
+TEST(Autograd, ReluGrad)
+{
+    // Keep values away from the kink for a clean finite difference.
+    Tensor init = randomTensor(2, 5, 16);
+    for (std::size_t i = 0; i < init.size(); ++i) {
+        if (std::fabs(init.data()[i]) < 0.1f)
+            init.data()[i] = 0.5f;
+    }
+    Variable x = Variable::leaf(init, true);
+    Variable t = Variable::leaf(randomTensor(2, 5, 17), false);
+    gradCheck(x, [&] { return ag::mseLoss(ag::relu(x), t); });
+}
+
+TEST(Autograd, SoftmaxGrad)
+{
+    Variable x = Variable::leaf(randomTensor(3, 4, 18), true);
+    Variable t = Variable::leaf(randomTensor(3, 4, 19), false);
+    gradCheck(x, [&] { return ag::mseLoss(ag::rowSoftmax(x), t); });
+}
+
+TEST(Autograd, LayerNormGradX)
+{
+    Variable x = Variable::leaf(randomTensor(3, 6, 20), true);
+    Variable gamma = Variable::leaf(randomTensor(1, 6, 21), false);
+    Variable beta = Variable::leaf(randomTensor(1, 6, 22), false);
+    Variable t = Variable::leaf(randomTensor(3, 6, 23), false);
+    gradCheck(x, [&] {
+        return ag::mseLoss(ag::layerNorm(x, gamma, beta), t);
+    });
+}
+
+TEST(Autograd, LayerNormGradAffine)
+{
+    Variable x = Variable::leaf(randomTensor(3, 6, 24), false);
+    Variable gamma = Variable::leaf(randomTensor(1, 6, 25), true);
+    Variable beta = Variable::leaf(randomTensor(1, 6, 26), true);
+    Variable t = Variable::leaf(randomTensor(3, 6, 27), false);
+    gradCheck(gamma, [&] {
+        return ag::mseLoss(ag::layerNorm(x, gamma, beta), t);
+    });
+    gradCheck(beta, [&] {
+        return ag::mseLoss(ag::layerNorm(x, gamma, beta), t);
+    });
+}
+
+TEST(Autograd, TransposeMeanRowsGrad)
+{
+    Variable x = Variable::leaf(randomTensor(4, 3, 28), true);
+    Variable t = Variable::leaf(randomTensor(1, 4, 29), false);
+    gradCheck(x, [&] {
+        return ag::mseLoss(ag::meanRows(ag::transpose(x)), t);
+    });
+}
+
+TEST(Autograd, CrossEntropyGrad)
+{
+    Variable logits = Variable::leaf(randomTensor(4, 5, 30), true);
+    const std::vector<std::size_t> labels{0, 3, 2, 4};
+    gradCheck(logits, [&] {
+        return ag::softmaxCrossEntropy(logits, labels);
+    });
+}
+
+TEST(Autograd, CrossEntropyValueMatchesManual)
+{
+    Tensor l(1, 2, {0.0f, 0.0f});
+    Variable logits = Variable::leaf(l, false);
+    Variable loss = ag::softmaxCrossEntropy(logits, {0});
+    EXPECT_NEAR(loss.value()(0, 0), std::log(2.0f), 1e-5f);
+}
+
+TEST(Autograd, SumSquaredDiffMatchesEq1Term)
+{
+    Tensor a(2, 2, {1, 2, 3, 4});
+    Tensor b(2, 2, {1, 1, 1, 1});
+    Variable va = Variable::leaf(a, false);
+    Variable vb = Variable::leaf(b, false);
+    Variable one = Variable::leaf(Tensor(1, 1), true);
+    // ||a-b||^2 = 0 + 1 + 4 + 9 = 14.
+    Variable s = ag::sumSquaredDiff(va, vb);
+    EXPECT_FLOAT_EQ(s.value()(0, 0), 14.0f);
+    (void)one;
+}
+
+TEST(Autograd, SoftAssignGradCentroids)
+{
+    // Full differentiability of the baseline LUT-NN assignment.
+    Variable x = Variable::leaf(randomTensor(3, 4, 31), false);
+    Variable c = Variable::leaf(randomTensor(2 * 3, 2, 32), true);
+    Variable t = Variable::leaf(randomTensor(3, 4, 33), false);
+    gradCheck(c, [&] {
+        return ag::mseLoss(ag::softAssign(x, c, 2, 3, 2, 1.0f), t);
+    }, 1e-3f, 5e-2f);
+}
+
+TEST(Autograd, SoftAssignGradInput)
+{
+    Variable x = Variable::leaf(randomTensor(3, 4, 34), true);
+    Variable c = Variable::leaf(randomTensor(2 * 3, 2, 35), false);
+    Variable t = Variable::leaf(randomTensor(3, 4, 36), false);
+    gradCheck(x, [&] {
+        return ag::mseLoss(ag::softAssign(x, c, 2, 3, 2, 1.0f), t);
+    }, 1e-3f, 5e-2f);
+}
+
+TEST(Autograd, CentroidAssignForwardIsHard)
+{
+    Tensor x(1, 2, {0.9f, 0.1f});
+    Tensor c(2, 2, {1.0f, 0.0f, -1.0f, 0.0f});
+    Variable vx = Variable::leaf(x, false);
+    Variable vc = Variable::leaf(c, true);
+    Variable out = ag::centroidAssign(vx, vc, 1, 2, 2);
+    EXPECT_FLOAT_EQ(out.value()(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.value()(0, 1), 0.0f);
+}
+
+TEST(Autograd, CentroidAssignSteBackward)
+{
+    // STE: dL/dx must equal dL/d(out) exactly, and centroid grads must
+    // accumulate the output grads of assigned sub-vectors.
+    Tensor x(2, 2, {0.9f, 0.0f, -0.8f, 0.1f});
+    Tensor c(2, 2, {1.0f, 0.0f, -1.0f, 0.0f});
+    Variable vx = Variable::leaf(x, true);
+    Variable vc = Variable::leaf(c, true);
+    Variable out = ag::centroidAssign(vx, vc, 1, 2, 2);
+    Variable target = Variable::leaf(Tensor(2, 2), false);
+    Variable loss = ag::sumSquaredDiff(out, target);
+    loss.backward();
+
+    // dL/dout = 2*out. Row 0 assigned centroid 0, row 1 centroid 1.
+    EXPECT_FLOAT_EQ(vx.grad()(0, 0), 2.0f * 1.0f);
+    EXPECT_FLOAT_EQ(vx.grad()(1, 0), 2.0f * -1.0f);
+    EXPECT_FLOAT_EQ(vc.grad()(0, 0), 2.0f * 1.0f);
+    EXPECT_FLOAT_EQ(vc.grad()(1, 0), 2.0f * -1.0f);
+}
+
+TEST(Autograd, GradAccumulatesAcrossUses)
+{
+    // x used twice: grads must sum.
+    Variable x = Variable::leaf(Tensor(1, 1, {3.0f}), true);
+    Variable y = ag::add(x, x); // y = 2x
+    Variable t = Variable::leaf(Tensor(1, 1), false);
+    Variable loss = ag::sumSquaredDiff(y, t); // (2x)^2 -> d/dx = 8x = 24
+    loss.backward();
+    EXPECT_FLOAT_EQ(x.grad()(0, 0), 24.0f);
+}
+
+TEST(Autograd, NoGradFlowsToFrozenLeaves)
+{
+    Variable x = Variable::leaf(Tensor(1, 1, {1.0f}), false);
+    Variable w = Variable::leaf(Tensor(1, 1, {2.0f}), true);
+    Variable loss = ag::sumSquaredDiff(ag::matmul(x, w),
+                                       Variable::leaf(Tensor(1, 1), false));
+    loss.backward();
+    EXPECT_TRUE(x.grad().empty());
+    EXPECT_FALSE(w.grad().empty());
+}
+
+TEST(Autograd, DeepChainDoesNotOverflowStack)
+{
+    // Iterative topo sort must survive very long tapes.
+    Variable x = Variable::leaf(Tensor(1, 1, {1.0f}), true);
+    Variable y = x;
+    for (int i = 0; i < 20000; ++i)
+        y = ag::mulScalar(y, 1.0f);
+    Variable loss = ag::sumSquaredDiff(
+        y, Variable::leaf(Tensor(1, 1), false));
+    loss.backward();
+    EXPECT_FLOAT_EQ(x.grad()(0, 0), 2.0f);
+}
+
+TEST(Autograd, ColSliceGrad)
+{
+    Variable x = Variable::leaf(randomTensor(3, 6, 60), true);
+    Variable t = Variable::leaf(randomTensor(3, 2, 61), false);
+    gradCheck(x, [&] {
+        return ag::mseLoss(ag::colSlice(x, 2, 4), t);
+    });
+}
+
+TEST(Autograd, ConcatColsGrad)
+{
+    Variable a = Variable::leaf(randomTensor(3, 2, 62), true);
+    Variable b = Variable::leaf(randomTensor(3, 3, 63), true);
+    Variable t = Variable::leaf(randomTensor(3, 5, 64), false);
+    gradCheck(a, [&] {
+        return ag::mseLoss(ag::concatCols({a, b}), t);
+    });
+    gradCheck(b, [&] {
+        return ag::mseLoss(ag::concatCols({a, b}), t);
+    });
+}
+
+TEST(Autograd, SliceConcatRoundTripIsIdentity)
+{
+    Variable x = Variable::leaf(randomTensor(4, 6, 65), false);
+    Variable rebuilt = ag::concatCols({ag::colSlice(x, 0, 2),
+                                       ag::colSlice(x, 2, 6)});
+    EXPECT_EQ(maxAbsDiff(rebuilt.value(), x.value()), 0.0f);
+}
+
+TEST(Autograd, ColSliceBoundsChecked)
+{
+    Variable x = Variable::leaf(randomTensor(2, 4, 66), false);
+    EXPECT_THROW(ag::colSlice(x, 2, 6), std::runtime_error);
+    EXPECT_THROW(ag::colSlice(x, 3, 3), std::runtime_error);
+}
+
+} // namespace
+} // namespace pimdl

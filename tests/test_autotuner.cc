@@ -1,0 +1,131 @@
+/** @file Auto-tuner tests (paper Algorithm 1). */
+
+#include <gtest/gtest.h>
+
+#include "tuner/autotuner.h"
+
+namespace pimdl {
+namespace {
+
+LutWorkloadShape
+smallShape()
+{
+    LutWorkloadShape shape;
+    shape.n = 1024;
+    shape.cb = 64;
+    shape.ct = 16;
+    shape.f = 512;
+    return shape;
+}
+
+TEST(AutoTuner, FindsLegalMapping)
+{
+    AutoTuner tuner(upmemPlatform());
+    AutoTuneResult result = tuner.tune(smallShape());
+    ASSERT_TRUE(result.found);
+    EXPECT_GT(result.evaluated, 0u);
+    std::string reason;
+    EXPECT_TRUE(mappingIsLegal(tuner.platform(), smallShape(),
+                               result.mapping, &reason))
+        << reason;
+}
+
+TEST(AutoTuner, TunedBeatsArbitraryLegalMappings)
+{
+    // Algorithm 1 returns the minimum over the space it enumerates, so it
+    // must be at least as fast as hand-picked members of that space.
+    const LutWorkloadShape shape = smallShape();
+    AutoTuner tuner(upmemPlatform());
+    AutoTuneResult best = tuner.tune(shape);
+    ASSERT_TRUE(best.found);
+
+    for (std::size_t ns : {128u, 256u, 1024u}) {
+        for (std::size_t fs : {64u, 512u}) {
+            AutoTuneResult k = tuner.kernelSearch(shape, ns, fs);
+            if (!k.found)
+                continue;
+            EXPECT_LE(best.cost.total(), k.cost.total() + 1e-12);
+        }
+    }
+}
+
+TEST(AutoTuner, LegalSubLutTilingsRespectEq5)
+{
+    AutoTuner tuner(upmemPlatform());
+    const LutWorkloadShape shape = smallShape();
+    const auto pairs = tuner.legalSubLutTilings(shape);
+    EXPECT_FALSE(pairs.empty());
+    for (const auto &[ns, fs] : pairs) {
+        EXPECT_EQ(shape.n % ns, 0u);
+        EXPECT_EQ(shape.f % fs, 0u);
+        EXPECT_LE((shape.n / ns) * (shape.f / fs),
+                  tuner.platform().num_pes);
+    }
+}
+
+TEST(AutoTuner, FullPeUseOptionFiltersPairs)
+{
+    AutoTuneOptions options;
+    options.require_full_pe_use = true;
+    AutoTuner tuner(upmemPlatform(), options);
+    for (const auto &[ns, fs] : tuner.legalSubLutTilings(smallShape())) {
+        EXPECT_EQ((smallShape().n / ns) * (smallShape().f / fs), 1024u);
+    }
+}
+
+TEST(AutoTuner, FixedSchemeAblation)
+{
+    const LutWorkloadShape shape = smallShape();
+    double best_any = 0.0;
+    {
+        AutoTuner tuner(upmemPlatform());
+        best_any = tuner.tune(shape).cost.total();
+    }
+    for (LutLoadScheme scheme :
+         {LutLoadScheme::Static, LutLoadScheme::CoarseGrain,
+          LutLoadScheme::FineGrain}) {
+        AutoTuneOptions options;
+        options.fix_scheme = true;
+        options.scheme = scheme;
+        AutoTuner tuner(upmemPlatform(), options);
+        AutoTuneResult result = tuner.tune(shape);
+        if (result.found) {
+            EXPECT_EQ(result.mapping.scheme, scheme);
+            // Unrestricted search is never worse than a restricted one.
+            EXPECT_LE(best_any, result.cost.total() + 1e-12);
+        }
+    }
+}
+
+TEST(AutoTuner, KernelSearchRespectsSubLutChoice)
+{
+    AutoTuner tuner(upmemPlatform());
+    AutoTuneResult result = tuner.kernelSearch(smallShape(), 256, 128);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.mapping.ns_tile, 256u);
+    EXPECT_EQ(result.mapping.fs_tile, 128u);
+}
+
+TEST(AutoTuner, WorksOnAllThreePlatforms)
+{
+    for (PimProduct product :
+         {PimProduct::UpmemDimm, PimProduct::HbmPim, PimProduct::Aim}) {
+        AutoTuner tuner(platformFor(product));
+        AutoTuneResult result = tuner.tune(smallShape());
+        EXPECT_TRUE(result.found)
+            << "no mapping on " << platformFor(product).name;
+    }
+}
+
+TEST(AutoTuner, MappingDescribeMentionsScheme)
+{
+    AutoTuner tuner(upmemPlatform());
+    AutoTuneResult result = tuner.tune(smallShape());
+    ASSERT_TRUE(result.found);
+    const std::string desc = result.mapping.describe();
+    EXPECT_NE(desc.find("s-tile"), std::string::npos);
+    EXPECT_NE(desc.find("scheme="), std::string::npos);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,150 @@
+/** @file Hot-entry LUT cache model and index-skew tests (Section 7). */
+
+#include <gtest/gtest.h>
+
+#include "tuner/autotuner.h"
+#include "runtime/engine.h"
+#include "tuner/cache_model.h"
+
+namespace pimdl {
+namespace {
+
+LutWorkloadShape
+shape()
+{
+    LutWorkloadShape s;
+    s.n = 1024;
+    s.cb = 64;
+    s.ct = 16;
+    s.f = 512;
+    return s;
+}
+
+TEST(IndexSkew, UniformStreamHasFullEntropy)
+{
+    const IndexMatrix stream = makeZipfIndexStream(4096, 8, 16, 0.0, 1);
+    const IndexSkewStats stats = measureIndexSkew(stream, 16);
+    EXPECT_GT(stats.entropy_bits, 3.9); // log2(16) = 4
+    EXPECT_LT(stats.top1_coverage, 0.12);
+    EXPECT_NEAR(stats.coverage[16], 1.0, 1e-9);
+}
+
+TEST(IndexSkew, ZipfStreamIsSkewed)
+{
+    const IndexMatrix stream = makeZipfIndexStream(4096, 8, 16, 1.5, 2);
+    const IndexSkewStats stats = measureIndexSkew(stream, 16);
+    EXPECT_LT(stats.entropy_bits, 3.0);
+    EXPECT_GT(stats.top1_coverage, 0.4);
+}
+
+TEST(IndexSkew, CoverageIsMonotone)
+{
+    const IndexMatrix stream = makeZipfIndexStream(1024, 4, 16, 1.0, 3);
+    const IndexSkewStats stats = measureIndexSkew(stream, 16);
+    for (std::size_t k = 1; k < stats.coverage.size(); ++k)
+        EXPECT_GE(stats.coverage[k], stats.coverage[k - 1]);
+}
+
+TEST(IndexSkew, RejectsOutOfRangeIndices)
+{
+    IndexMatrix bad(2, 2);
+    bad.at(1, 1) = 40;
+    EXPECT_THROW(measureIndexSkew(bad, 16), std::runtime_error);
+}
+
+TEST(CacheModel, SkewedStreamsGainMore)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    AutoTuneOptions options;
+    options.fix_scheme = true;
+    options.scheme = LutLoadScheme::FineGrain;
+    AutoTuner tuner(platform, options);
+    const AutoTuneResult tuned = tuner.tune(shape());
+    ASSERT_TRUE(tuned.found);
+
+    double prev_speedup = 0.0;
+    for (double alpha : {0.0, 1.0, 2.0}) {
+        const IndexMatrix stream =
+            makeZipfIndexStream(1024, shape().cb, shape().ct, alpha, 7);
+        const IndexSkewStats skew = measureIndexSkew(stream, shape().ct);
+        const CachedLutEstimate est = estimateCachedLut(
+            platform, shape(), tuned.mapping, skew, 8.0 * 1024);
+        EXPECT_GE(est.speedup(), prev_speedup - 1e-9)
+            << "alpha=" << alpha;
+        EXPECT_GE(est.speedup(), 1.0 - 1e-9);
+        prev_speedup = est.speedup();
+    }
+    EXPECT_GT(prev_speedup, 1.0);
+}
+
+TEST(CacheModel, StaticSchemeGainsNothing)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    LutMapping m;
+    m.ns_tile = 512;  // 2 groups
+    m.fs_tile = 16;   // 32 lanes
+    m.nm_tile = 64;
+    m.fm_tile = 16;
+    m.cbm_tile = 16;
+    m.scheme = LutLoadScheme::Static;
+    const IndexMatrix stream =
+        makeZipfIndexStream(1024, shape().cb, shape().ct, 2.0, 9);
+    const IndexSkewStats skew = measureIndexSkew(stream, shape().ct);
+    const CachedLutEstimate est =
+        estimateCachedLut(platform, shape(), m, skew, 8.0 * 1024);
+    EXPECT_DOUBLE_EQ(est.speedup(), 1.0);
+}
+
+TEST(CacheModel, ZeroCacheIsNeutral)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    AutoTuneOptions options;
+    options.fix_scheme = true;
+    options.scheme = LutLoadScheme::FineGrain;
+    AutoTuner tuner(platform, options);
+    const AutoTuneResult tuned = tuner.tune(shape());
+    ASSERT_TRUE(tuned.found);
+    const IndexMatrix stream =
+        makeZipfIndexStream(1024, shape().cb, shape().ct, 2.0, 11);
+    const IndexSkewStats skew = measureIndexSkew(stream, shape().ct);
+    const CachedLutEstimate est =
+        estimateCachedLut(platform, shape(), tuned.mapping, skew, 0.0);
+    EXPECT_DOUBLE_EQ(est.hit_rate, 0.0);
+    EXPECT_DOUBLE_EQ(est.speedup(), 1.0);
+}
+
+TEST(AdderOnly, FourXAccumulateThroughput)
+{
+    const PimPlatformConfig stock = upmemPlatform();
+    const PimPlatformConfig adder = upmemAdderOnlyPlatform();
+    EXPECT_NEAR(adder.pe_add_ops_per_s / stock.pe_add_ops_per_s, 4.0,
+                1e-9);
+    EXPECT_LT(adder.pe_mul_ops_per_s, stock.pe_mul_ops_per_s);
+}
+
+TEST(AdderOnly, SpeedsUpLutOperator)
+{
+    AutoTuner stock(upmemPlatform());
+    AutoTuner adder(upmemAdderOnlyPlatform());
+    const double t_stock = stock.tune(shape()).cost.total();
+    const double t_adder = adder.tune(shape()).cost.total();
+    EXPECT_LT(t_adder, t_stock);
+}
+
+TEST(Pipelining, NeverSlower)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const TransformerConfig model =
+        customTransformer("pipe-test", 256, 2, 128, 16);
+    const LutNnParams params{4, 16};
+    const InferenceEstimate seq = engine.estimatePimDl(model, params);
+    const InferenceEstimate pipe =
+        engine.estimatePimDlPipelined(model, params);
+    EXPECT_LE(pipe.total_s, seq.total_s + 1e-12);
+    // The overlapped window cannot beat the longer of the two stages.
+    EXPECT_GE(pipe.total_s,
+              std::max(seq.ccs_s, seq.lut_s) - 1e-12);
+}
+
+} // namespace
+} // namespace pimdl

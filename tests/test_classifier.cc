@@ -1,0 +1,191 @@
+/** @file Trainable transformer classifier tests. */
+
+#include <gtest/gtest.h>
+
+#include "nn/classifier.h"
+#include "nn/synthetic.h"
+
+namespace pimdl {
+namespace {
+
+ClassifierConfig
+tinyConfig()
+{
+    ClassifierConfig cfg;
+    cfg.input_dim = 6;
+    cfg.hidden = 8;
+    cfg.ffn = 12;
+    cfg.layers = 1;
+    cfg.classes = 3;
+    cfg.seq_len = 4;
+    cfg.subvec_len = 2;
+    cfg.centroids = 4;
+    return cfg;
+}
+
+SyntheticTask
+tinyTask()
+{
+    SyntheticTaskConfig cfg;
+    cfg.classes = 3;
+    cfg.seq_len = 4;
+    cfg.input_dim = 6;
+    cfg.train_samples = 24;
+    cfg.test_samples = 12;
+    return makeSyntheticTask(cfg);
+}
+
+TEST(Classifier, ReplaceableLayerInventory)
+{
+    ClassifierConfig cfg = tinyConfig();
+    cfg.layers = 3;
+    TransformerClassifier model(cfg);
+    // 6 replaceable linears per encoder block.
+    EXPECT_EQ(model.replaceableLayers().size(), 18u);
+}
+
+TEST(Classifier, ParamInventory)
+{
+    TransformerClassifier model(tinyConfig());
+    // input proj (2) + head (2) + per block: 6 linears x 2 + 4 LN = 16.
+    EXPECT_EQ(model.modelParams().size(), 2u + 2u + 16u);
+    // No centroids until codebooks are installed.
+    EXPECT_TRUE(model.centroidParams().empty());
+}
+
+TEST(Classifier, ForwardBatchProducesFiniteLoss)
+{
+    TransformerClassifier model(tinyConfig());
+    SyntheticTask task = tinyTask();
+    ForwardResult result =
+        model.forwardBatch(task.train, 0, 8, LinearMode::Dense);
+    EXPECT_TRUE(std::isfinite(result.loss.value()(0, 0)));
+    EXPECT_GE(result.accuracy, 0.0f);
+    EXPECT_LE(result.accuracy, 1.0f);
+}
+
+TEST(Classifier, DenseModeIgnoresMissingCodebooks)
+{
+    TransformerClassifier model(tinyConfig());
+    SyntheticTask task = tinyTask();
+    // HardLut without codebooks silently degrades to dense math.
+    const float dense = model.evaluate(task.test, LinearMode::Dense);
+    const float hard = model.evaluate(task.test, LinearMode::HardLut);
+    EXPECT_FLOAT_EQ(dense, hard);
+}
+
+TEST(Classifier, CollectActivationsShapes)
+{
+    ClassifierConfig cfg = tinyConfig();
+    TransformerClassifier model(cfg);
+    SyntheticTask task = tinyTask();
+    auto acts = model.collectActivations(task.train, 5);
+    ASSERT_EQ(acts.size(), 6u);
+    // wq/wk/wv/wo/ffn1 inputs have hidden width; ffn2 input has ffn width.
+    EXPECT_EQ(acts[0].cols(), cfg.hidden);
+    EXPECT_EQ(acts[3].cols(), cfg.hidden);
+    EXPECT_EQ(acts[4].cols(), cfg.hidden);
+    EXPECT_EQ(acts[5].cols(), cfg.ffn);
+    EXPECT_EQ(acts[0].rows(), 5u * cfg.seq_len);
+}
+
+TEST(Classifier, SetCodebooksEnablesLutModes)
+{
+    ClassifierConfig cfg = tinyConfig();
+    TransformerClassifier model(cfg);
+    SyntheticTask task = tinyTask();
+
+    std::vector<Tensor> leaves;
+    for (ReplaceableLinear *layer : model.replaceableLayers()) {
+        const std::size_t cb = layer->in_dim / cfg.subvec_len;
+        Tensor leaf(cb * cfg.centroids, cfg.subvec_len);
+        Rng rng(1);
+        leaf.fillGaussian(rng);
+        leaves.push_back(std::move(leaf));
+    }
+    model.setCodebooks(std::move(leaves));
+    EXPECT_EQ(model.centroidParams().size(), 6u);
+
+    // Hard-LUT eval now diverges from dense eval in general.
+    const float hard = model.evaluate(task.test, LinearMode::HardLut);
+    EXPECT_GE(hard, 0.0f);
+    EXPECT_LE(hard, 1.0f);
+}
+
+TEST(Classifier, SetCodebooksRejectsBadShape)
+{
+    TransformerClassifier model(tinyConfig());
+    std::vector<Tensor> leaves(6, Tensor(3, 3));
+    EXPECT_THROW(model.setCodebooks(std::move(leaves)), std::runtime_error);
+}
+
+TEST(Classifier, ReconTermsAccumulateInLoss)
+{
+    ClassifierConfig cfg = tinyConfig();
+    TransformerClassifier model(cfg);
+    SyntheticTask task = tinyTask();
+
+    std::vector<Tensor> leaves;
+    for (ReplaceableLinear *layer : model.replaceableLayers()) {
+        const std::size_t cb = layer->in_dim / cfg.subvec_len;
+        Tensor leaf(cb * cfg.centroids, cfg.subvec_len);
+        Rng rng(2);
+        leaf.fillGaussian(rng);
+        leaves.push_back(std::move(leaf));
+    }
+    model.setCodebooks(std::move(leaves));
+
+    ForwardResult without =
+        model.forwardBatch(task.train, 0, 4, LinearMode::HardLut, 0.0f);
+    ForwardResult with =
+        model.forwardBatch(task.train, 0, 4, LinearMode::HardLut, 1e-2f);
+    // Random centroids make big reconstruction errors: the penalized
+    // loss must be strictly larger.
+    EXPECT_GT(with.loss.value()(0, 0), without.loss.value()(0, 0));
+}
+
+TEST(Classifier, SequenceAccessor)
+{
+    SyntheticTask task = tinyTask();
+    Tensor seq = task.train.sequence(2);
+    EXPECT_EQ(seq.rows(), task.train.seq_len);
+    EXPECT_EQ(seq.cols(), task.train.features.cols());
+    EXPECT_THROW(task.train.sequence(task.train.size()),
+                 std::runtime_error);
+}
+
+TEST(Classifier, MultiHeadAttentionRuns)
+{
+    ClassifierConfig cfg = tinyConfig();
+    cfg.heads = 2;
+    TransformerClassifier model(cfg);
+    SyntheticTask task = tinyTask();
+    ForwardResult result =
+        model.forwardBatch(task.train, 0, 4, LinearMode::Dense);
+    EXPECT_TRUE(std::isfinite(result.loss.value()(0, 0)));
+    // Activation collection mirrors the multi-head dense math.
+    auto acts = model.collectActivations(task.train, 3);
+    EXPECT_EQ(acts.size(), 6u);
+    EXPECT_EQ(acts[3].cols(), cfg.hidden); // wo input = merged heads
+}
+
+TEST(Classifier, HeadCountMustDivideHidden)
+{
+    ClassifierConfig cfg = tinyConfig();
+    cfg.heads = 3; // hidden = 8
+    EXPECT_THROW(TransformerClassifier model(cfg), std::runtime_error);
+}
+
+TEST(Classifier, CloneWeightsMatchesOriginal)
+{
+    ClassifierConfig cfg = tinyConfig();
+    TransformerClassifier model(cfg);
+    SyntheticTask task = tinyTask();
+    TransformerClassifier copy = model.cloneWeights();
+    const float a = model.evaluate(task.test, LinearMode::Dense);
+    const float b = copy.evaluate(task.test, LinearMode::Dense);
+    EXPECT_FLOAT_EQ(a, b);
+}
+
+} // namespace
+} // namespace pimdl

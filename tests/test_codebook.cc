@@ -1,0 +1,106 @@
+/** @file CodebookSet and IndexMatrix tests. */
+
+#include <gtest/gtest.h>
+
+#include "lutnn/codebook.h"
+
+namespace pimdl {
+namespace {
+
+TEST(LutShape, ValidatesDivisibility)
+{
+    LutShape shape;
+    shape.input_dim = 10;
+    shape.output_dim = 4;
+    shape.subvec_len = 3;
+    shape.centroids = 4;
+    EXPECT_THROW(shape.validate(), std::runtime_error);
+    shape.subvec_len = 2;
+    EXPECT_NO_THROW(shape.validate());
+    EXPECT_EQ(shape.codebooks(), 5u);
+}
+
+TEST(CodebookSet, NearestUsesInnerProductForm)
+{
+    // Two centroids per codebook; verify the argmin matches brute-force
+    // L2 distance.
+    CodebookSet set(1, 2, 3);
+    float *c0 = set.centroid(0, 0);
+    float *c1 = set.centroid(0, 1);
+    c0[0] = 1.0f; c0[1] = 0.0f; c0[2] = 0.0f;
+    c1[0] = 0.0f; c1[1] = 2.0f; c1[2] = 0.0f;
+    set.refreshNorms();
+
+    const float near_c0[3] = {0.9f, 0.1f, 0.0f};
+    const float near_c1[3] = {0.0f, 1.8f, 0.1f};
+    EXPECT_EQ(set.nearest(0, near_c0), 0u);
+    EXPECT_EQ(set.nearest(0, near_c1), 1u);
+}
+
+TEST(CodebookSet, NormsCacheMatchesCentroids)
+{
+    Rng rng(8);
+    CodebookSet set(3, 4, 2);
+    for (auto &v : set.raw())
+        v = rng.gaussian();
+    set.refreshNorms();
+    for (std::size_t cb = 0; cb < 3; ++cb) {
+        for (std::size_t ct = 0; ct < 4; ++ct) {
+            const float *c = set.centroid(cb, ct);
+            const float expect = c[0] * c[0] + c[1] * c[1];
+            EXPECT_FLOAT_EQ(set.norm2(cb, ct), expect);
+        }
+    }
+}
+
+TEST(CodebookSet, LearnProducesRequestedGeometry)
+{
+    Rng rng(10);
+    Tensor activations(64, 8);
+    activations.fillGaussian(rng);
+    KMeansOptions opts;
+    CodebookSet set = CodebookSet::learn(activations, 2, 4, opts);
+    EXPECT_EQ(set.codebooks(), 4u);
+    EXPECT_EQ(set.centroids(), 4u);
+    EXPECT_EQ(set.subvecLen(), 2u);
+    EXPECT_EQ(set.byteSize(), 4u * 4u * 2u * sizeof(float));
+}
+
+TEST(CodebookSet, LearnRejectsBadWidth)
+{
+    Tensor activations(8, 7);
+    KMeansOptions opts;
+    EXPECT_THROW(CodebookSet::learn(activations, 2, 4, opts),
+                 std::runtime_error);
+}
+
+TEST(CodebookSet, LearnedCentroidsApproximateColumns)
+{
+    // Activations whose first sub-vector column only takes two values:
+    // with CT=2 the learned codebook must recover both.
+    Tensor activations(40, 2);
+    for (std::size_t r = 0; r < 40; ++r) {
+        const float v = (r % 2 == 0) ? 1.0f : -1.0f;
+        activations(r, 0) = v;
+        activations(r, 1) = 2.0f * v;
+    }
+    KMeansOptions opts;
+    CodebookSet set = CodebookSet::learn(activations, 2, 2, opts);
+    const float *a = set.centroid(0, 0);
+    const float *b = set.centroid(0, 1);
+    const bool recovered =
+        (std::abs(a[0] - 1.0f) < 1e-3f && std::abs(b[0] + 1.0f) < 1e-3f) ||
+        (std::abs(a[0] + 1.0f) < 1e-3f && std::abs(b[0] - 1.0f) < 1e-3f);
+    EXPECT_TRUE(recovered);
+}
+
+TEST(IndexMatrix, LayoutAndByteSize)
+{
+    IndexMatrix idx(3, 4);
+    idx.at(2, 3) = 7;
+    EXPECT_EQ(idx.at(2, 3), 7);
+    EXPECT_EQ(idx.byteSize(), 3u * 4u * 2u);
+}
+
+} // namespace
+} // namespace pimdl

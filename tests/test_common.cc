@@ -1,0 +1,109 @@
+/** @file Tests for common utilities: logging, tables, csv, parallel. */
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace pimdl {
+namespace {
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatalError("bad config"), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panicError("bug"), std::logic_error);
+}
+
+TEST(Logging, RequireMacro)
+{
+    EXPECT_NO_THROW(PIMDL_REQUIRE(true, "fine"));
+    EXPECT_THROW(PIMDL_REQUIRE(false, "nope"), std::runtime_error);
+}
+
+TEST(Table, AlignsColumnsAndFormats)
+{
+    TablePrinter table({"Name", "Value"});
+    table.addRow({"alpha", TablePrinter::fmt(1.23456, 2)});
+    table.addRow({"b", TablePrinter::fmtRatio(2.5)});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+    EXPECT_NE(out.find("2.50x"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    TablePrinter table({"A", "B"});
+    EXPECT_THROW(table.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(Csv, WritesQuotedCells)
+{
+    const std::string path = "/tmp/pimdl_test_csv.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.addRow({"plain", "has,comma"});
+        csv.addRow({"quote\"inside", "x"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "plain,\"has,comma\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"quote\"\"inside\",x");
+    std::remove(path.c_str());
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(1000, [&](std::size_t i) { hits[i]++; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PropagatesExceptions)
+{
+    EXPECT_THROW(parallelFor(100,
+                             [](std::size_t i) {
+                                 if (i == 57)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(Parallel, ZeroCountIsNoOp)
+{
+    bool ran = false;
+    parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(Units, Literals)
+{
+    EXPECT_DOUBLE_EQ(64_KiB, 65536.0);
+    EXPECT_DOUBLE_EQ(2_GBps, 2e9);
+    EXPECT_DOUBLE_EQ(1.5_TOPS, 1.5e12);
+    EXPECT_DOUBLE_EQ(350_MHz, 350e6);
+    EXPECT_DOUBLE_EQ(toMillis(0.5), 500.0);
+    EXPECT_DOUBLE_EQ(toMicros(0.5), 500000.0);
+}
+
+} // namespace
+} // namespace pimdl

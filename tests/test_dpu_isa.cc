@@ -1,0 +1,223 @@
+/** @file Miniature DPU ISA interpreter and LUT kernel tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pim/dpu_kernels.h"
+#include "pim/platform.h"
+
+namespace pimdl {
+namespace {
+
+TEST(DpuIsa, MoviMovAdd)
+{
+    DpuPe pe(1024, 1024);
+    auto program = DpuProgramBuilder()
+                       .movi(1, 7)
+                       .movi(2, 35)
+                       .add(3, 1, 2)
+                       .mov(4, 3)
+                       .halt()
+                       .build();
+    const DpuRunStats stats = pe.run(program);
+    EXPECT_TRUE(stats.halted);
+    EXPECT_EQ(pe.reg(4), 42);
+    EXPECT_EQ(stats.instructions, 5u);
+}
+
+TEST(DpuIsa, MulCostsMicrocodeCycles)
+{
+    DpuPe pe(64, 64);
+    auto program =
+        DpuProgramBuilder().movi(1, 6).movi(2, 7).mul(3, 1, 2).halt()
+            .build();
+    const DpuRunStats stats = pe.run(program);
+    EXPECT_EQ(pe.reg(3), 42);
+    EXPECT_EQ(stats.instructions, 4u);
+    EXPECT_EQ(stats.cycles, 3u + DpuPe::kMulCycles);
+}
+
+TEST(DpuIsa, LoadStoreRoundTrip)
+{
+    DpuPe pe(64, 64);
+    auto program = DpuProgramBuilder()
+                       .movi(1, 0)      // base
+                       .movi(2, -12345) // value
+                       .stw(2, 1, 8)
+                       .ldw(3, 1, 8)
+                       .halt()
+                       .build();
+    pe.run(program);
+    EXPECT_EQ(pe.reg(3), -12345);
+    EXPECT_EQ(pe.wramWord(8), -12345);
+}
+
+TEST(DpuIsa, SignExtensionOfByteAndHalf)
+{
+    DpuPe pe(64, 64);
+    pe.wram()[0] = 0x80; // -128 as int8
+    pe.wram()[2] = 0xff;
+    pe.wram()[3] = 0xff; // -1 as int16
+    auto program = DpuProgramBuilder()
+                       .movi(1, 0)
+                       .ldb(2, 1, 0)
+                       .ldh(3, 1, 2)
+                       .halt()
+                       .build();
+    pe.run(program);
+    EXPECT_EQ(pe.reg(2), -128);
+    EXPECT_EQ(pe.reg(3), -1);
+}
+
+TEST(DpuIsa, BranchLoopSumsToN)
+{
+    // sum = 0; for (i = 0; i < 10; ++i) sum += i;
+    DpuPe pe(64, 64);
+    auto program = DpuProgramBuilder()
+                       .movi(1, 0)  // i
+                       .movi(2, 0)  // sum
+                       .movi(3, 10) // bound
+                       .label("loop")
+                       .add(2, 2, 1)
+                       .addi(1, 1, 1)
+                       .blt(1, 3, "loop")
+                       .halt()
+                       .build();
+    pe.run(program);
+    EXPECT_EQ(pe.reg(2), 45);
+}
+
+TEST(DpuIsa, DmaCopiesMramToWram)
+{
+    DpuPe pe(64, 64);
+    for (int i = 0; i < 16; ++i)
+        pe.mram()[i] = static_cast<std::uint8_t>(i * 3);
+    auto program = DpuProgramBuilder()
+                       .movi(1, 0)  // mram src
+                       .movi(2, 32) // wram dst
+                       .movi(3, 16) // bytes
+                       .dma(2, 1, 3)
+                       .halt()
+                       .build();
+    const DpuRunStats stats = pe.run(program);
+    EXPECT_EQ(stats.dma_transfers, 1u);
+    EXPECT_EQ(stats.dma_bytes, 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(pe.wram()[32 + i], i * 3);
+}
+
+TEST(DpuIsa, OutOfRangeAccessThrows)
+{
+    DpuPe pe(16, 16);
+    auto program =
+        DpuProgramBuilder().movi(1, 64).ldw(2, 1, 0).halt().build();
+    EXPECT_THROW(pe.run(program), std::runtime_error);
+}
+
+TEST(DpuIsa, UnresolvedLabelThrows)
+{
+    DpuProgramBuilder b;
+    b.jmp("nowhere");
+    EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(DpuIsa, RunawayProgramStopsAtMaxSteps)
+{
+    DpuPe pe(64, 64);
+    auto program =
+        DpuProgramBuilder().label("spin").jmp("spin").build();
+    const DpuRunStats stats = pe.run(program, 1000);
+    EXPECT_FALSE(stats.halted);
+    EXPECT_EQ(stats.instructions, 1000u);
+}
+
+TEST(DpuKernel, MatchesReferenceReduce)
+{
+    DpuLutKernelShape shape;
+    shape.rows = 6;
+    shape.cb = 5;
+    shape.ct = 4;
+    shape.f_tile = 8;
+
+    Rng rng(77);
+    std::vector<std::uint16_t> indices(shape.rows * shape.cb);
+    for (auto &v : indices)
+        v = static_cast<std::uint16_t>(rng.index(shape.ct));
+    std::vector<std::int8_t> lut(shape.cb * shape.ct * shape.f_tile);
+    for (auto &v : lut)
+        v = static_cast<std::int8_t>(rng.integer(-128, 127));
+
+    DpuPe pe(64 * 1024, 1);
+    const DpuLutKernelResult result =
+        runLutReduceOnDpu(pe, shape, indices, lut);
+
+    for (std::size_t r = 0; r < shape.rows; ++r) {
+        for (std::size_t f = 0; f < shape.f_tile; ++f) {
+            std::int32_t expect = 0;
+            for (std::size_t c = 0; c < shape.cb; ++c) {
+                const std::size_t idx = indices[r * shape.cb + c];
+                expect += lut[(c * shape.ct + idx) * shape.f_tile + f];
+            }
+            EXPECT_EQ(result.output[r * shape.f_tile + f], expect)
+                << "r=" << r << " f=" << f;
+        }
+    }
+}
+
+TEST(DpuKernel, CyclesPerAccumulateMatchesPlatformCalibration)
+{
+    // The platform model assumes ~4 cycles per INT8 LUT accumulate
+    // (pe_add_ops_per_s = 350 MHz / 4). The hand-written ISA kernel must
+    // land in that neighbourhood — this pins the calibration to an
+    // executable artifact instead of a constant.
+    DpuLutKernelShape shape;
+    shape.rows = 16;
+    shape.cb = 16;
+    shape.ct = 16;
+    shape.f_tile = 16;
+
+    Rng rng(78);
+    std::vector<std::uint16_t> indices(shape.rows * shape.cb);
+    for (auto &v : indices)
+        v = static_cast<std::uint16_t>(rng.index(shape.ct));
+    std::vector<std::int8_t> lut(shape.cb * shape.ct * shape.f_tile, 1);
+
+    DpuPe pe(64 * 1024, 1);
+    const DpuLutKernelResult result =
+        runLutReduceOnDpu(pe, shape, indices, lut);
+    const double cpa = result.cyclesPerAccumulate(shape);
+
+    const PimPlatformConfig platform = upmemPlatform();
+    const double model_cpa = platform.pe_freq_hz /
+                             platform.pe_add_ops_per_s;
+    EXPECT_NEAR(cpa, model_cpa, 1.5)
+        << "ISA kernel retires " << cpa
+        << " cycles/accumulate vs model's " << model_cpa;
+}
+
+TEST(DpuKernel, RejectsBadShapes)
+{
+    DpuLutKernelShape shape;
+    shape.rows = 2;
+    shape.cb = 2;
+    shape.ct = 2;
+    shape.f_tile = 6; // not a multiple of 4
+    EXPECT_THROW(buildLutReduceKernel(shape, {}), std::runtime_error);
+}
+
+TEST(DpuKernel, RejectsOversizedOperands)
+{
+    DpuLutKernelShape shape;
+    shape.rows = 64;
+    shape.cb = 64;
+    shape.ct = 64;
+    shape.f_tile = 64;
+    std::vector<std::uint16_t> indices(shape.rows * shape.cb, 0);
+    std::vector<std::int8_t> lut(shape.cb * shape.ct * shape.f_tile, 0);
+    DpuPe pe(4 * 1024, 1); // far too small
+    EXPECT_THROW(runLutReduceOnDpu(pe, shape, indices, lut),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,118 @@
+/** @file eLUT-NN calibration integration tests (paper Section 4.2). */
+
+#include <gtest/gtest.h>
+
+#include "lutnn/elutnn.h"
+
+namespace pimdl {
+namespace {
+
+ClassifierConfig
+smallConfig()
+{
+    ClassifierConfig cfg;
+    cfg.input_dim = 8;
+    cfg.hidden = 8;
+    cfg.ffn = 16;
+    cfg.layers = 1;
+    cfg.classes = 4;
+    cfg.seq_len = 6;
+    cfg.subvec_len = 2;
+    cfg.centroids = 8;
+    return cfg;
+}
+
+SyntheticTask
+smallTask()
+{
+    SyntheticTaskConfig cfg;
+    cfg.classes = 4;
+    cfg.seq_len = 6;
+    cfg.input_dim = 8;
+    cfg.noise = 0.3f;
+    cfg.train_samples = 96;
+    cfg.test_samples = 48;
+    return makeSyntheticTask(cfg);
+}
+
+TEST(Elutnn, DenseTrainingLearnsTask)
+{
+    TransformerClassifier model(smallConfig());
+    SyntheticTask task = smallTask();
+    TrainOptions opts;
+    opts.epochs = 25;
+    const float acc = trainDense(model, task, opts);
+    EXPECT_GT(acc, 0.7f) << "dense model should learn the synthetic task";
+}
+
+TEST(Elutnn, CodebookInitInstallsAllLayers)
+{
+    TransformerClassifier model(smallConfig());
+    SyntheticTask task = smallTask();
+    initCodebooksFromActivations(model, task.train, 16, 1);
+    EXPECT_EQ(model.centroidParams().size(), 6u);
+}
+
+TEST(Elutnn, CalibrationImprovesHardLutAccuracy)
+{
+    TransformerClassifier model(smallConfig());
+    SyntheticTask task = smallTask();
+    TrainOptions train_opts;
+    train_opts.epochs = 25;
+    trainDense(model, task, train_opts);
+
+    CalibrationOptions cal;
+    cal.epochs = 8;
+    cal.data_fraction = 0.25f;
+    CalibrationReport report = calibrateElutNn(model, task, cal);
+    EXPECT_EQ(report.loss_history.size(), cal.epochs);
+    EXPECT_GE(report.accuracy_after, report.accuracy_before - 0.05f)
+        << "eLUT-NN calibration must not destroy accuracy";
+}
+
+TEST(Elutnn, ReportsCalibrationSampleBudget)
+{
+    TransformerClassifier model(smallConfig());
+    SyntheticTask task = smallTask();
+    CalibrationOptions cal;
+    cal.epochs = 1;
+    cal.data_fraction = 0.10f;
+    cal.batch_size = 4;
+    CalibrationReport report = calibrateElutNn(model, task, cal);
+    // 10% of 96 = 9 -> at least one batch, at most the whole set.
+    EXPECT_GE(report.samples_used, 4u);
+    EXPECT_LE(report.samples_used, task.train.size());
+}
+
+TEST(Elutnn, BaselineUsesSoftAssignmentPath)
+{
+    // The baseline must run (soft assignment is differentiable end to
+    // end) and produce a hard-LUT accuracy measurement.
+    TransformerClassifier model(smallConfig());
+    SyntheticTask task = smallTask();
+    TrainOptions train_opts;
+    train_opts.epochs = 10;
+    trainDense(model, task, train_opts);
+
+    CalibrationOptions cal;
+    cal.epochs = 2;
+    cal.data_fraction = 1.0f;
+    CalibrationReport report = calibrateBaselineLutNn(model, task, cal);
+    EXPECT_GE(report.accuracy_after, 0.0f);
+    EXPECT_LE(report.accuracy_after, 1.0f);
+}
+
+TEST(Elutnn, LossHistoryIsFinite)
+{
+    TransformerClassifier model(smallConfig());
+    SyntheticTask task = smallTask();
+    CalibrationOptions cal;
+    cal.epochs = 3;
+    cal.data_fraction = 0.2f;
+    CalibrationReport report = calibrateElutNn(model, task, cal);
+    for (float l : report.loss_history)
+        EXPECT_TRUE(std::isfinite(l));
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,180 @@
+/** @file End-to-end engine tests: PIM-DL vs baselines on model shapes. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+
+namespace pimdl {
+namespace {
+
+TransformerConfig
+smallModel()
+{
+    // Shrunk geometry keeps tuner runs quick in unit tests.
+    TransformerConfig cfg = customTransformer("test-tf", 256, 2, 128, 8);
+    return cfg;
+}
+
+TEST(ModelConfig, LinearWorkloadShapes)
+{
+    TransformerConfig cfg = bertBase();
+    const auto workloads = cfg.linearWorkloads();
+    ASSERT_EQ(workloads.size(), 4u);
+    EXPECT_EQ(workloads[0].role, LinearRole::QkvProjection);
+    EXPECT_EQ(workloads[0].n, 64u * 512u);
+    EXPECT_EQ(workloads[0].h, 768u);
+    EXPECT_EQ(workloads[0].f, 3u * 768u);
+    EXPECT_EQ(workloads[3].role, LinearRole::Ffn2);
+    EXPECT_EQ(workloads[3].h, 3072u);
+    EXPECT_EQ(workloads[3].f, 768u);
+}
+
+TEST(ModelConfig, PaperPresets)
+{
+    EXPECT_EQ(bertBase().hidden_dim, 768u);
+    EXPECT_EQ(bertLarge().hidden_dim, 1024u);
+    EXPECT_EQ(bertLarge().layers, 24u);
+    EXPECT_EQ(vitHuge().hidden_dim, 1280u);
+    EXPECT_EQ(vitHuge().seq_len, 264u); // padded from 257 (Section 6.3)
+    EXPECT_EQ(vitBase().hidden_dim, 768u);
+}
+
+TEST(ModelConfig, RoleNames)
+{
+    EXPECT_STREQ(linearRoleName(LinearRole::QkvProjection), "QKV");
+    EXPECT_STREQ(linearRoleName(LinearRole::Ffn2), "FFN2");
+}
+
+TEST(Engine, PimDlEstimateHasAllComponents)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    LutNnParams params;
+    InferenceEstimate est = engine.estimatePimDl(smallModel(), params);
+    EXPECT_GT(est.total_s, 0.0);
+    EXPECT_GT(est.ccs_s, 0.0);
+    EXPECT_GT(est.lut_s, 0.0);
+    EXPECT_GT(est.attention_s, 0.0);
+    EXPECT_GT(est.other_s, 0.0);
+    EXPECT_EQ(est.per_linear.size(), 4u);
+    EXPECT_NEAR(est.total_s,
+                est.ccs_s + est.lut_s + est.attention_s + est.other_s,
+                1e-9);
+    EXPECT_GT(est.energy.total(), 0.0);
+}
+
+TEST(Engine, PimGemmSlowerThanPimDlOnUpmem)
+{
+    // The paper's headline: LUT-NN inference beats GEMM offload on
+    // UPMEM by an order of magnitude once kernels are big enough to
+    // amortize launch overheads.
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    LutNnParams params;
+    const TransformerConfig model =
+        customTransformer("test-tf-big", 512, 4, 256, 32);
+    InferenceEstimate lut = engine.estimatePimDl(model, params);
+    InferenceEstimate gemm =
+        engine.estimatePimGemm(model, HostDtype::Int8);
+    EXPECT_GT(gemm.total_s / lut.total_s, 3.0);
+}
+
+TEST(Engine, LargerSubvectorIsFaster)
+{
+    // Figure 12-(a): larger V shrinks codebook count and LUT size.
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    LutNnParams v2{2, 16};
+    LutNnParams v8{8, 16};
+    const double t2 = engine.estimatePimDl(smallModel(), v2).total_s;
+    const double t8 = engine.estimatePimDl(smallModel(), v8).total_s;
+    EXPECT_GT(t2, t8);
+}
+
+TEST(Engine, FewerCentroidsIsFaster)
+{
+    // Figure 12-(b): smaller CT shrinks the LUT footprint.
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    LutNnParams ct8{4, 8};
+    LutNnParams ct64{4, 64};
+    const double t8 = engine.estimatePimDl(smallModel(), ct8).total_s;
+    const double t64 = engine.estimatePimDl(smallModel(), ct64).total_s;
+    EXPECT_GT(t64, t8);
+}
+
+TEST(Engine, MappingOverrideIsHonored)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    LutNnParams params;
+    // A legal-but-poor mapping must evaluate and not beat the tuner.
+    LutMapping m;
+    m.ns_tile = smallModel().tokens();
+    m.fs_tile = 256;
+    m.nm_tile = 8;
+    m.fm_tile = 8;
+    m.cbm_tile = 1;
+    m.scheme = LutLoadScheme::FineGrain;
+    m.f_load_tile = 1;
+    // All four workloads share F multiples of 256 in this model.
+    InferenceEstimate forced =
+        engine.estimatePimDlWithMapping(smallModel(), params, m);
+    InferenceEstimate tuned = engine.estimatePimDl(smallModel(), params);
+    EXPECT_LE(tuned.lut_s, forced.lut_s + 1e-12);
+}
+
+TEST(Engine, HostOnlyBaselineFasterWithInt8)
+{
+    InferenceEstimate fp32 = estimateHostInference(
+        xeonGold5218Dual(), smallModel(), HostDtype::Fp32);
+    InferenceEstimate int8 = estimateHostInference(
+        xeonGold5218Dual(), smallModel(), HostDtype::Int8);
+    EXPECT_GT(fp32.total_s, int8.total_s);
+    EXPECT_GT(fp32.energy.total(), 0.0);
+}
+
+TEST(Engine, ThroughputHelper)
+{
+    InferenceEstimate est;
+    est.total_s = 2.0;
+    EXPECT_DOUBLE_EQ(est.throughput(64), 32.0);
+}
+
+TEST(Engine, HbmPimAndAimPimDlRuns)
+{
+    for (PimProduct product : {PimProduct::HbmPim, PimProduct::Aim}) {
+        PimDlEngine engine(platformFor(product), a2Gpu());
+        LutNnParams params;
+        InferenceEstimate lut = engine.estimatePimDl(smallModel(), params);
+        InferenceEstimate gemm =
+            engine.estimatePimGemm(smallModel(), HostDtype::Fp16);
+        EXPECT_GT(lut.total_s, 0.0);
+        EXPECT_GT(gemm.total_s, lut.total_s)
+            << "PIM-DL must beat GEMV-style GEMM offload on "
+            << platformFor(product).name;
+    }
+}
+
+TEST(Engine, ElementwiseOffloadedOnHbmPim)
+{
+    // HBM-PIM/AiM implement elementwise ops, so "other" work moves off
+    // the host and runs at bank bandwidth (paper Figure 6-(b)).
+    const TransformerConfig model = smallModel();
+    PimDlEngine hbm(hbmPimPlatform(), a2Gpu());
+    PimDlEngine upmem(upmemPlatform(), xeon4210Dual());
+    const InferenceEstimate a = hbm.estimatePimDl(model, {4, 16});
+    const InferenceEstimate b = upmem.estimatePimDl(model, {4, 16});
+    // On HBM-PIM host_busy excludes elementwise work; on UPMEM it does
+    // not. Compare the host-busy share of "attention + other".
+    EXPECT_LT(a.host_busy_s - a.ccs_s - a.attention_s, 1e-12);
+    EXPECT_GT(b.host_busy_s - b.ccs_s - b.attention_s, 0.0);
+}
+
+TEST(Engine, TuneCacheGivesIdenticalRepeatEstimates)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const TransformerConfig model = smallModel();
+    const InferenceEstimate a = engine.estimatePimDl(model, {4, 16});
+    const InferenceEstimate b = engine.estimatePimDl(model, {4, 16});
+    EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+    EXPECT_DOUBLE_EQ(a.lut_s, b.lut_s);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,151 @@
+/** @file End-to-end functional transformer integration tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/functional_transformer.h"
+
+namespace pimdl {
+namespace {
+
+FunctionalTransformerConfig
+smallConfig()
+{
+    FunctionalTransformerConfig cfg;
+    cfg.hidden = 16;
+    cfg.ffn = 32;
+    cfg.layers = 2;
+    cfg.heads = 2;
+    cfg.subvec_len = 2;
+    cfg.centroids = 16;
+    return cfg;
+}
+
+/** Low-rank tokens: LUT-NN approximates structured activations well. */
+Tensor
+makeTokens(std::size_t rows, std::size_t hidden, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor basis(4, hidden);
+    basis.fillGaussian(rng);
+    Tensor latent(rows, 4);
+    latent.fillGaussian(rng);
+    Tensor tokens(rows, hidden);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < hidden; ++c) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < 4; ++k)
+                acc += latent(r, k) * basis(k, c);
+            tokens(r, c) = acc;
+        }
+    }
+    return tokens;
+}
+
+class FunctionalTransformerTest : public ::testing::Test
+{
+  protected:
+    FunctionalTransformerTest()
+        : model_(smallConfig()),
+          calib_(makeTokens(16 * 8, smallConfig().hidden, 1)),
+          input_(makeTokens(4 * 8, smallConfig().hidden, 2))
+    {}
+
+    FunctionalTransformer model_;
+    Tensor calib_;
+    Tensor input_;
+    static constexpr std::size_t kSeq = 8;
+};
+
+TEST_F(FunctionalTransformerTest, DenseForwardIsDeterministic)
+{
+    const Tensor a = model_.forward(input_, kSeq,
+                                    LinearBackendKind::Dense);
+    const Tensor b = model_.forward(input_, kSeq,
+                                    LinearBackendKind::Dense);
+    EXPECT_EQ(maxAbsDiff(a, b), 0.0f);
+    EXPECT_EQ(a.rows(), input_.rows());
+    EXPECT_EQ(a.cols(), smallConfig().hidden);
+}
+
+TEST_F(FunctionalTransformerTest, LutBackendRequiresConversion)
+{
+    EXPECT_THROW(model_.forward(input_, kSeq,
+                                LinearBackendKind::HostLut),
+                 std::runtime_error);
+}
+
+TEST_F(FunctionalTransformerTest, HostLutTracksDense)
+{
+    model_.convertToLut(calib_, kSeq);
+    const Tensor dense =
+        model_.forward(input_, kSeq, LinearBackendKind::Dense);
+    const Tensor lut =
+        model_.forward(input_, kSeq, LinearBackendKind::HostLut);
+    // LUT-NN is an approximation, and an untrained random transformer is
+    // its worst case (intermediate activations have no cluster
+    // structure; the paper calibrates trained models). The end-to-end
+    // error must still stay bounded through both blocks.
+    EXPECT_LT(relativeError(lut, dense), 0.65f);
+}
+
+TEST_F(FunctionalTransformerTest, PimBackendMatchesHostLutClosely)
+{
+    // The distributed execution computes exactly what host-side INT8
+    // LUT inference computes: same indices, same INT8 tables, same
+    // accumulation — only sharded across PEs.
+    model_.convertToLut(calib_, kSeq);
+    model_.planPimExecution(upmemPlatform(), input_.rows());
+    const Tensor host =
+        model_.forward(input_, kSeq, LinearBackendKind::HostLut);
+    const Tensor pim =
+        model_.forward(input_, kSeq, LinearBackendKind::PimLut);
+    EXPECT_LT(maxAbsDiff(pim, host), 1e-4f);
+}
+
+TEST_F(FunctionalTransformerTest, PimBackendNeedsPlan)
+{
+    model_.convertToLut(calib_, kSeq);
+    EXPECT_THROW(model_.forward(input_, kSeq,
+                                LinearBackendKind::PimLut),
+                 std::runtime_error);
+}
+
+TEST_F(FunctionalTransformerTest, RejectsBadTokenWidth)
+{
+    Tensor bad(8, smallConfig().hidden + 2);
+    EXPECT_THROW(model_.forward(bad, kSeq, LinearBackendKind::Dense),
+                 std::runtime_error);
+}
+
+TEST_F(FunctionalTransformerTest, RejectsNonDividingSeqLen)
+{
+    EXPECT_THROW(model_.forward(input_, 7, LinearBackendKind::Dense),
+                 std::runtime_error);
+}
+
+TEST(FunctionalTransformer, MoreCentroidsTightenEndToEndError)
+{
+    const std::size_t seq = 8;
+    Tensor calib = makeTokens(16 * seq, 16, 5);
+    Tensor input = makeTokens(4 * seq, 16, 6);
+
+    float prev = 1e9f;
+    for (std::size_t ct : {4u, 16u, 64u}) {
+        FunctionalTransformerConfig cfg = smallConfig();
+        cfg.centroids = ct;
+        FunctionalTransformer model(cfg);
+        model.convertToLut(calib, seq);
+        const Tensor dense =
+            model.forward(input, seq, LinearBackendKind::Dense);
+        const Tensor lut =
+            model.forward(input, seq, LinearBackendKind::HostLut);
+        const float err = relativeError(lut, dense);
+        EXPECT_LT(err, prev + 0.05f) << "CT=" << ct;
+        prev = err;
+    }
+    EXPECT_LT(prev, 0.45f);
+}
+
+} // namespace
+} // namespace pimdl

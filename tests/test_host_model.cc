@@ -1,0 +1,98 @@
+/** @file Host roofline model tests. */
+
+#include <gtest/gtest.h>
+
+#include "host/host_model.h"
+
+namespace pimdl {
+namespace {
+
+TEST(HostModel, DtypeBytes)
+{
+    EXPECT_EQ(hostDtypeBytes(HostDtype::Fp32), 4.0);
+    EXPECT_EQ(hostDtypeBytes(HostDtype::Int8), 1.0);
+    EXPECT_EQ(hostDtypeBytes(HostDtype::Fp16), 2.0);
+}
+
+TEST(HostModel, GemmComputeBoundForLargeShapes)
+{
+    // Use the GPU preset (BLAS-grade efficiency) for the roofline check;
+    // the CPU presets model GGML's low-efficiency kernels.
+    HostModel model(v100Gpu());
+    const double t = model.gemmSeconds(4096, 4096, 4096, HostDtype::Fp32);
+    const double ops = 2.0 * 4096.0 * 4096.0 * 4096.0;
+    const double compute_floor =
+        ops / model.config().peak_fp32_ops; // ideal machine
+    EXPECT_GE(t, compute_floor);
+    EXPECT_LT(t, compute_floor * 3.0);
+}
+
+TEST(HostModel, GemmMemoryBoundForSkinnyShapes)
+{
+    HostModel model(v100Gpu());
+    // GEMV-like: memory time dominates.
+    const double t = model.gemmSeconds(1, 4096, 4096, HostDtype::Fp32);
+    const double bytes = (4096.0 + 4096.0 * 4096.0 + 4096.0) * 4.0;
+    EXPECT_NEAR(t, bytes / model.config().mem_bw, t * 0.01);
+}
+
+TEST(HostModel, InnerDimPenaltySlowsLongReductions)
+{
+    // FFN2-style GEMM (large K) runs at lower effective throughput than
+    // an op-count-equal small-K GEMM on the GGML CPU models.
+    HostModel model(xeonGold5218Dual());
+    const double small_k =
+        model.gemmSeconds(512, 768, 3072, HostDtype::Int8);
+    const double large_k =
+        model.gemmSeconds(512, 3072, 768, HostDtype::Int8);
+    EXPECT_GT(large_k, small_k);
+}
+
+TEST(HostModel, Int8FasterThanFp32)
+{
+    HostModel model(xeonGold5218Dual());
+    const double fp32 = model.gemmSeconds(512, 768, 768, HostDtype::Fp32);
+    const double int8 = model.gemmSeconds(512, 768, 768, HostDtype::Int8);
+    EXPECT_GT(fp32, int8);
+}
+
+TEST(HostModel, CcsIsMemoryBoundOnCpu)
+{
+    // Paper Figure 4: LUT kernels (CCS included) sit in the CPU's
+    // memory-bound region.
+    HostModel model(xeon4210Dual());
+    const std::size_t n = 64 * 512;
+    const double t = model.ccsSeconds(n, 768, 16, 2);
+    const double mem_floor =
+        (n * 768.0 * 4.0 + n * 384.0 * 2.0) / model.config().mem_bw;
+    EXPECT_GE(t, mem_floor * 0.99);
+}
+
+TEST(HostModel, AttentionScalesWithSeqSquared)
+{
+    HostModel model(v100Gpu());
+    const double t1 = model.attentionSeconds(8, 128, 768, HostDtype::Fp32);
+    const double t2 = model.attentionSeconds(8, 256, 768, HostDtype::Fp32);
+    EXPECT_GT(t2, 3.0 * t1);
+    EXPECT_LT(t2, 5.0 * t1);
+}
+
+TEST(HostModel, PresetSanity)
+{
+    EXPECT_NEAR(xeon4210Dual().peak_fp32_ops, 795.11e9, 1e6);
+    EXPECT_GT(v100Gpu().peak_fp32_ops, xeonGold5218Dual().peak_fp32_ops);
+    EXPECT_GT(v100Gpu().mem_bw, a2Gpu().mem_bw);
+}
+
+TEST(HostModel, ElementwiseUsesVectorEfficiency)
+{
+    HostProcessorConfig cfg = xeonGold5218Dual();
+    HostModel model(cfg);
+    // Compute-heavy elementwise op (tiny bytes): time = ops / (peak*eff).
+    const double t = model.elementwiseSeconds(1e12, 1.0);
+    EXPECT_NEAR(t, 1e12 / (cfg.peak_fp32_ops * cfg.vector_efficiency),
+                t * 0.01);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,131 @@
+/** @file K-means clustering tests. */
+
+#include <gtest/gtest.h>
+
+#include "lutnn/kmeans.h"
+
+namespace pimdl {
+namespace {
+
+/** Builds well-separated Gaussian blobs around the given centers. */
+Tensor
+makeBlobs(const Tensor &centers, std::size_t per_cluster, float spread,
+          Rng &rng)
+{
+    Tensor samples(centers.rows() * per_cluster, centers.cols());
+    for (std::size_t c = 0; c < centers.rows(); ++c) {
+        for (std::size_t i = 0; i < per_cluster; ++i) {
+            float *row = samples.rowPtr(c * per_cluster + i);
+            for (std::size_t d = 0; d < centers.cols(); ++d)
+                row[d] = centers(c, d) + spread * rng.gaussian();
+        }
+    }
+    return samples;
+}
+
+TEST(KMeans, RecoversSeparatedClusters)
+{
+    Rng rng(2);
+    Tensor centers(4, 2, {0, 0, 10, 0, 0, 10, 10, 10});
+    Tensor samples = makeBlobs(centers, 50, 0.3f, rng);
+
+    KMeansOptions opts;
+    opts.clusters = 4;
+    opts.seed = 7;
+    KMeansResult result = kmeans(samples, opts);
+
+    // Every true center must be within 1.0 of some learned centroid.
+    for (std::size_t c = 0; c < 4; ++c) {
+        double best = 1e30;
+        for (std::size_t k = 0; k < 4; ++k) {
+            double d = 0.0;
+            for (std::size_t dim = 0; dim < 2; ++dim) {
+                const double diff =
+                    centers(c, dim) - result.centroids(k, dim);
+                d += diff * diff;
+            }
+            best = std::min(best, d);
+        }
+        EXPECT_LT(best, 1.0);
+    }
+}
+
+TEST(KMeans, SingleClusterIsMean)
+{
+    Rng rng(3);
+    Tensor samples(100, 3);
+    samples.fillGaussian(rng, 5.0f, 1.0f);
+    KMeansOptions opts;
+    opts.clusters = 1;
+    KMeansResult result = kmeans(samples, opts);
+    for (std::size_t d = 0; d < 3; ++d)
+        EXPECT_NEAR(result.centroids(0, d), 5.0f, 0.5f);
+}
+
+TEST(KMeans, AssignmentsMatchNearestCentroid)
+{
+    Rng rng(4);
+    Tensor samples(64, 4);
+    samples.fillGaussian(rng);
+    KMeansOptions opts;
+    opts.clusters = 8;
+    KMeansResult result = kmeans(samples, opts);
+    for (std::size_t i = 0; i < samples.rows(); ++i) {
+        EXPECT_EQ(result.assignments[i],
+                  nearestCentroid(samples.rowPtr(i), result.centroids));
+    }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters)
+{
+    Rng rng(5);
+    Tensor samples(200, 4);
+    samples.fillGaussian(rng);
+    double prev = 1e30;
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+        KMeansOptions opts;
+        opts.clusters = k;
+        opts.max_iters = 30;
+        const double inertia = kmeans(samples, opts).inertia;
+        EXPECT_LE(inertia, prev + 1e-6);
+        prev = inertia;
+    }
+}
+
+TEST(KMeans, ExactClusterCountEvenWithDuplicates)
+{
+    // All samples identical: empty-cluster reseeding must still produce
+    // the requested number of centroids without crashing.
+    Tensor samples(10, 2);
+    samples.fill(1.0f);
+    KMeansOptions opts;
+    opts.clusters = 4;
+    KMeansResult result = kmeans(samples, opts);
+    EXPECT_EQ(result.centroids.rows(), 4u);
+    for (auto a : result.assignments)
+        EXPECT_LT(a, 4u);
+}
+
+TEST(KMeans, DeterministicForFixedSeed)
+{
+    Rng rng(6);
+    Tensor samples(80, 3);
+    samples.fillGaussian(rng);
+    KMeansOptions opts;
+    opts.clusters = 5;
+    opts.seed = 99;
+    KMeansResult a = kmeans(samples, opts);
+    KMeansResult b = kmeans(samples, opts);
+    EXPECT_EQ(maxAbsDiff(a.centroids, b.centroids), 0.0f);
+}
+
+TEST(KMeans, RejectsMoreClustersThanSamples)
+{
+    Tensor samples(3, 2);
+    KMeansOptions opts;
+    opts.clusters = 10;
+    EXPECT_THROW(kmeans(samples, opts), std::runtime_error);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,113 @@
+/** @file Optimizer tests: SGD and Adam converge on simple objectives. */
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "common/rng.h"
+
+namespace pimdl {
+namespace {
+
+using ag::Variable;
+
+/** Minimizes ||w - target||^2 and returns the final loss. */
+template <typename Opt, typename... Args>
+float
+minimizeQuadratic(std::size_t steps, Args &&...args)
+{
+    Rng rng(40);
+    Tensor init(2, 3);
+    init.fillGaussian(rng);
+    Variable w = Variable::leaf(init, true);
+    Tensor target_t(2, 3);
+    target_t.fill(1.5f);
+    Variable target = Variable::leaf(target_t, false);
+
+    Opt opt({w}, std::forward<Args>(args)...);
+    float loss_v = 0.0f;
+    for (std::size_t i = 0; i < steps; ++i) {
+        opt.zeroGrad();
+        Variable loss = ag::mseLoss(w, target);
+        loss.backward();
+        opt.step();
+        loss_v = loss.value()(0, 0);
+    }
+    return loss_v;
+}
+
+TEST(Optimizer, SgdConverges)
+{
+    EXPECT_LT(minimizeQuadratic<ag::Sgd>(200, 0.2f, 0.0f), 1e-6f);
+}
+
+TEST(Optimizer, SgdMomentumConverges)
+{
+    EXPECT_LT(minimizeQuadratic<ag::Sgd>(200, 0.05f, 0.9f), 1e-5f);
+}
+
+TEST(Optimizer, AdamConverges)
+{
+    EXPECT_LT(minimizeQuadratic<ag::Adam>(400, 0.05f), 1e-4f);
+}
+
+TEST(Optimizer, ZeroGradClearsGradients)
+{
+    Variable w = Variable::leaf(Tensor(1, 1, {1.0f}), true);
+    ag::Sgd opt({w}, 0.1f);
+    Variable loss = ag::sumSquaredDiff(
+        w, Variable::leaf(Tensor(1, 1), false));
+    loss.backward();
+    EXPECT_NE(w.grad()(0, 0), 0.0f);
+    opt.zeroGrad();
+    EXPECT_EQ(w.grad()(0, 0), 0.0f);
+}
+
+TEST(Optimizer, StepSkipsParamsWithoutGrads)
+{
+    Variable used = Variable::leaf(Tensor(1, 1, {1.0f}), true);
+    Variable unused = Variable::leaf(Tensor(1, 1, {5.0f}), true);
+    ag::Adam opt({used, unused}, 0.1f);
+    opt.zeroGrad();
+    Variable loss = ag::sumSquaredDiff(
+        used, Variable::leaf(Tensor(1, 1), false));
+    loss.backward();
+    opt.step();
+    EXPECT_FLOAT_EQ(unused.value()(0, 0), 5.0f);
+    EXPECT_NE(used.value()(0, 0), 1.0f);
+}
+
+TEST(Optimizer, AdamSolvesLinearRegression)
+{
+    // y = X w*; recover w* from data.
+    Rng rng(41);
+    Tensor x_t(32, 4);
+    x_t.fillGaussian(rng);
+    Tensor w_star(4, 1, {1.0f, -2.0f, 0.5f, 3.0f});
+    Variable x = Variable::leaf(x_t, false);
+    Variable y = Variable::leaf(Tensor(32, 1), false);
+    {
+        // Build targets.
+        Tensor y_t(32, 1);
+        for (std::size_t r = 0; r < 32; ++r) {
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < 4; ++c)
+                acc += x_t(r, c) * w_star(c, 0);
+            y_t(r, 0) = acc;
+        }
+        y = Variable::leaf(y_t, false);
+    }
+
+    Variable w = Variable::leaf(Tensor(4, 1), true);
+    ag::Adam opt({w}, 0.05f);
+    for (int i = 0; i < 800; ++i) {
+        opt.zeroGrad();
+        Variable loss = ag::mseLoss(ag::matmul(x, w), y);
+        loss.backward();
+        opt.step();
+    }
+    EXPECT_LT(maxAbsDiff(w.value(), w_star), 0.05f);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,96 @@
+/** @file PIM platform config and bandwidth-curve tests. */
+
+#include <gtest/gtest.h>
+
+#include "pim/energy.h"
+#include "pim/platform.h"
+
+namespace pimdl {
+namespace {
+
+TEST(BandwidthCurve, MonotoneAndSaturating)
+{
+    BandwidthCurve curve{10e9, 1024.0};
+    double prev = 0.0;
+    for (double bytes : {64.0, 1024.0, 65536.0, 1e9}) {
+        const double bw = curve.at(bytes);
+        EXPECT_GT(bw, prev);
+        EXPECT_LE(bw, curve.peak);
+        prev = bw;
+    }
+    // Half of peak exactly at half_size.
+    EXPECT_NEAR(curve.at(1024.0), 5e9, 1.0);
+}
+
+TEST(BandwidthCurve, SecondsForZeroBytesIsZero)
+{
+    BandwidthCurve curve{10e9, 1024.0};
+    EXPECT_EQ(curve.seconds(0.0), 0.0);
+    EXPECT_GT(curve.seconds(1024.0), 0.0);
+}
+
+TEST(Platform, UpmemMatchesPaperTable3)
+{
+    PimPlatformConfig cfg = upmemPlatform();
+    EXPECT_EQ(cfg.num_pes, 1024u);
+    EXPECT_EQ(cfg.pe_buffer_bytes, 64u * 1024u);
+    EXPECT_DOUBLE_EQ(cfg.pe_freq_hz, 350e6);
+    // 13.92 W per DIMM x 8 DIMMs (paper Section 6.3).
+    EXPECT_NEAR(cfg.pim_static_power_w, 111.36, 0.01);
+    EXPECT_EQ(cfg.lut_dtype_bytes, 1.0);
+}
+
+TEST(Platform, HbmPimAndAimThroughput)
+{
+    // Paper Section 6.7: HBM-PIM 4.8 TFLOPS, AiM 16 TFLOPS nominal; the
+    // usable indexed-accumulate throughput is derated by the same gather
+    // efficiency on both, so their 16/4.8 ratio is preserved.
+    EXPECT_NEAR(aimPlatform().totalAddThroughput() /
+                    hbmPimPlatform().totalAddThroughput(),
+                16.0 / 4.8, 1e-6);
+    // Internal bandwidth matches Table 1: 2 TB/s per cube x 4 cubes and
+    // 1 TB/s per chip x 16 chips.
+    EXPECT_NEAR(hbmPimPlatform().totalStreamBandwidth(), 8e12, 1e9);
+    EXPECT_NEAR(aimPlatform().totalStreamBandwidth(), 16e12, 1e9);
+    EXPECT_EQ(hbmPimPlatform().lut_dtype_bytes, 2.0);
+}
+
+TEST(Platform, FactoryDispatch)
+{
+    EXPECT_EQ(platformFor(PimProduct::UpmemDimm).product,
+              PimProduct::UpmemDimm);
+    EXPECT_EQ(platformFor(PimProduct::HbmPim).product, PimProduct::HbmPim);
+    EXPECT_EQ(platformFor(PimProduct::Aim).product, PimProduct::Aim);
+}
+
+TEST(Platform, UpmemMultipliesAreExpensive)
+{
+    // The architectural premise of LUT-NN on UPMEM: adds are cheap,
+    // multiplies are microcoded.
+    PimPlatformConfig cfg = upmemPlatform();
+    EXPECT_GT(cfg.pe_add_ops_per_s / cfg.pe_mul_ops_per_s, 5.0);
+}
+
+TEST(Energy, ComponentsAndTotal)
+{
+    EnergyModel model(upmemPlatform());
+    EnergyReport r = model.energy(2.0, 1.0, 1e9);
+    EXPECT_NEAR(r.pim_joules, 111.36 * 2.0, 0.1);
+    EXPECT_NEAR(r.host_joules, 170.0, 0.1);
+    EXPECT_GT(r.transfer_joules, 0.0);
+    EXPECT_NEAR(r.total(),
+                r.pim_joules + r.host_joules + r.transfer_joules, 1e-9);
+}
+
+TEST(Energy, AccumulationOperator)
+{
+    EnergyReport a{1.0, 2.0, 3.0};
+    EnergyReport b{10.0, 20.0, 30.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.pim_joules, 11.0);
+    EXPECT_DOUBLE_EQ(a.host_joules, 22.0);
+    EXPECT_DOUBLE_EQ(a.transfer_joules, 33.0);
+}
+
+} // namespace
+} // namespace pimdl

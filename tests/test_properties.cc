@@ -1,0 +1,213 @@
+/** @file Parameterized property sweeps across the LUT-NN stack. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lutnn/converter.h"
+#include "runtime/lut_executor.h"
+#include "tensor/gemm.h"
+#include "tuner/autotuner.h"
+
+namespace pimdl {
+namespace {
+
+// ---------------------------------------------------------------------
+// LUT layer invariants over the (V, CT) hyper-parameter grid.
+// ---------------------------------------------------------------------
+
+class LutLayerProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    LutLayer
+    makeLayer(std::uint64_t seed) const
+    {
+        const auto [v, ct] = GetParam();
+        Rng rng(seed);
+        Tensor w(24, 20);
+        w.fillGaussian(rng);
+        Tensor calib(256, 24);
+        calib.fillGaussian(rng);
+        ConvertOptions options;
+        options.subvec_len = static_cast<std::size_t>(v);
+        options.centroids = static_cast<std::size_t>(ct);
+        options.quantize_int8 = true;
+        return convertLinearLayer(w, {}, calib, options);
+    }
+};
+
+TEST_P(LutLayerProperty, CentroidInputsAreLossless)
+{
+    // Invariant: inputs composed purely of centroids reproduce the exact
+    // GEMM — the LUT stores exactly those partial products.
+    LutLayer layer = makeLayer(100);
+    const auto &books = layer.codebooks();
+    Tensor input(7, 24);
+    for (std::size_t r = 0; r < input.rows(); ++r) {
+        for (std::size_t cb = 0; cb < books.codebooks(); ++cb) {
+            const std::size_t pick = (r * 3 + cb) % books.centroids();
+            const float *c = books.centroid(cb, pick);
+            for (std::size_t d = 0; d < books.subvecLen(); ++d)
+                input(r, cb * books.subvecLen() + d) = c[d];
+        }
+    }
+    EXPECT_LT(maxAbsDiff(layer.forward(input),
+                         gemm(input, layer.weight())),
+              1e-3f);
+}
+
+TEST_P(LutLayerProperty, LookupEqualsApproximatedGemm)
+{
+    // Invariant: LUT(x) == H(x) W for arbitrary inputs.
+    LutLayer layer = makeLayer(101);
+    Rng rng(102);
+    Tensor input(13, 24);
+    input.fillGaussian(rng);
+    const Tensor lhs = layer.forward(input);
+    const Tensor rhs =
+        gemm(layer.approximateActivations(input), layer.weight());
+    EXPECT_LT(maxAbsDiff(lhs, rhs), 1e-3f);
+}
+
+TEST_P(LutLayerProperty, QuantizedTracksFp32)
+{
+    LutLayer layer = makeLayer(103);
+    Rng rng(104);
+    Tensor input(16, 24);
+    input.fillGaussian(rng);
+    EXPECT_LT(relativeError(layer.forwardQuantized(input),
+                            layer.forward(input)),
+              0.03f);
+}
+
+TEST_P(LutLayerProperty, IndicesAlwaysInRange)
+{
+    LutLayer layer = makeLayer(105);
+    Rng rng(106);
+    Tensor input(32, 24);
+    input.fillGaussian(rng, 0.0f, 5.0f); // far outside calibration
+    const IndexMatrix idx = layer.closestCentroidSearch(input);
+    const auto [v, ct] = GetParam();
+    (void)v;
+    for (auto i : idx.data)
+        EXPECT_LT(i, static_cast<std::uint16_t>(ct));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LutLayerProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6),
+                       ::testing::Values(2, 8, 16)),
+    [](const auto &info) {
+        return "V" + std::to_string(std::get<0>(info.param)) + "_CT" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Cost model invariants across workload shapes.
+// ---------------------------------------------------------------------
+
+class CostModelProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    LutWorkloadShape
+    shape() const
+    {
+        // Parameter scales the workload geometrically.
+        const std::size_t s = static_cast<std::size_t>(GetParam());
+        LutWorkloadShape sh;
+        sh.n = 512 * s;
+        sh.cb = 32 * s;
+        sh.ct = 16;
+        sh.f = 256 * s;
+        return sh;
+    }
+};
+
+TEST_P(CostModelProperty, TunedMappingIsLegalAndPositive)
+{
+    AutoTuner tuner(upmemPlatform());
+    const AutoTuneResult r = tuner.tune(shape());
+    ASSERT_TRUE(r.found);
+    std::string reason;
+    EXPECT_TRUE(mappingIsLegal(tuner.platform(), shape(), r.mapping,
+                               &reason))
+        << reason;
+    EXPECT_GT(r.cost.total(), 0.0);
+}
+
+TEST_P(CostModelProperty, MoreWorkNeverCostsLess)
+{
+    // Doubling N at a fixed mapping scale must not reduce latency.
+    AutoTuner tuner(upmemPlatform());
+    LutWorkloadShape small = shape();
+    LutWorkloadShape big = small;
+    big.n *= 2;
+    const double t_small = tuner.tune(small).cost.total();
+    const double t_big = tuner.tune(big).cost.total();
+    EXPECT_GE(t_big, t_small * 0.99);
+}
+
+TEST_P(CostModelProperty, SimLatencyWithinBudgetOfModel)
+{
+    AutoTuner tuner(upmemPlatform());
+    const AutoTuneResult r = tuner.tune(shape());
+    ASSERT_TRUE(r.found);
+    const LutCostBreakdown model =
+        evaluateLutMapping(tuner.platform(), shape(), r.mapping);
+    // link_bytes is shape-only, mapping-independent.
+    const double expected_idx =
+        static_cast<double>(shape().n) * shape().cb * 2.0;
+    EXPECT_GE(model.link_bytes, expected_idx);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CostModelProperty,
+                         ::testing::Values(1, 2, 4));
+
+// ---------------------------------------------------------------------
+// Distributed executor equivalence across partition geometries.
+// ---------------------------------------------------------------------
+
+class ExecutorProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(ExecutorProperty, AnyPartitionMatchesMonolith)
+{
+    const auto [groups, lanes] = GetParam();
+    Rng rng(200);
+    Tensor w(12, 24);
+    w.fillGaussian(rng);
+    Tensor calib(96, 12);
+    calib.fillGaussian(rng);
+    ConvertOptions options;
+    options.subvec_len = 2;
+    options.centroids = 8;
+    LutLayer layer = convertLinearLayer(w, {}, calib, options);
+
+    Tensor input(24, 12);
+    input.fillGaussian(rng);
+    const IndexMatrix idx = layer.closestCentroidSearch(input);
+    const Tensor reference = layer.lookup(idx);
+
+    LutMapping m;
+    m.ns_tile = 24 / static_cast<std::size_t>(groups);
+    m.fs_tile = 24 / static_cast<std::size_t>(lanes);
+    m.nm_tile = 1;
+    m.fm_tile = 1;
+    m.cbm_tile = 6;
+    m.scheme = LutLoadScheme::FineGrain;
+    m.f_load_tile = 1;
+    const DistributedLutResult result =
+        runDistributedLut(upmemPlatform(), layer, idx, m, false);
+    EXPECT_LT(maxAbsDiff(result.output, reference), 1e-4f);
+    EXPECT_EQ(result.pes_used,
+              static_cast<std::size_t>(groups * lanes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, ExecutorProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 24),
+                       ::testing::Values(1, 3, 8, 24)));
+
+} // namespace
+} // namespace pimdl

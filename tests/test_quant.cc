@@ -1,0 +1,65 @@
+/** @file INT8 symmetric quantization tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/quant.h"
+
+namespace pimdl {
+namespace {
+
+TEST(Quant, RoundTripErrorBounded)
+{
+    Rng rng(21);
+    Tensor t(16, 16);
+    t.fillGaussian(rng, 0.0f, 2.0f);
+    QuantizedTensor q = quantizeSymmetric(t);
+    Tensor back = dequantize(q);
+    EXPECT_LE(maxAbsDiff(t, back), quantStepBound(q) + 1e-6f);
+}
+
+TEST(Quant, MaxValueMapsTo127)
+{
+    Tensor t(1, 3, {-1.0f, 0.5f, 2.0f});
+    QuantizedTensor q = quantizeSymmetric(t);
+    EXPECT_EQ(q.at(0, 2), 127);
+    EXPECT_FLOAT_EQ(q.scale, 2.0f / 127.0f);
+}
+
+TEST(Quant, SymmetricAroundZero)
+{
+    Tensor t(1, 2, {-3.0f, 3.0f});
+    QuantizedTensor q = quantizeSymmetric(t);
+    EXPECT_EQ(q.at(0, 0), -127);
+    EXPECT_EQ(q.at(0, 1), 127);
+}
+
+TEST(Quant, AllZerosStayZero)
+{
+    Tensor t(4, 4);
+    QuantizedTensor q = quantizeSymmetric(t);
+    for (auto v : q.data)
+        EXPECT_EQ(v, 0);
+    Tensor back = dequantize(q);
+    EXPECT_EQ(maxAbsDiff(t, back), 0.0f);
+}
+
+TEST(Quant, ByteSizeIsElementCount)
+{
+    Tensor t(3, 5);
+    QuantizedTensor q = quantizeSymmetric(t);
+    EXPECT_EQ(q.byteSize(), 15u);
+}
+
+TEST(Quant, RelativeErrorSmallForWellScaledData)
+{
+    Rng rng(33);
+    Tensor t(32, 32);
+    t.fillUniform(rng, -1.0f, 1.0f);
+    Tensor back = dequantize(quantizeSymmetric(t));
+    // INT8 resolution of ~1/127 over the max-abs range.
+    EXPECT_LT(relativeError(back, t), 0.02f);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,119 @@
+/** @file LUT model serialization round-trip tests. */
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lutnn/converter.h"
+#include "lutnn/serialize.h"
+
+namespace pimdl {
+namespace {
+
+LutLayer
+makeLayer(std::uint64_t seed, bool quantize, bool bias)
+{
+    Rng rng(seed);
+    Tensor w(12, 10);
+    w.fillGaussian(rng);
+    Tensor calib(96, 12);
+    calib.fillGaussian(rng);
+    ConvertOptions options;
+    options.subvec_len = 3;
+    options.centroids = 8;
+    options.quantize_int8 = quantize;
+    std::vector<float> b;
+    if (bias) {
+        b.resize(10);
+        for (std::size_t i = 0; i < b.size(); ++i)
+            b[i] = 0.1f * static_cast<float>(i);
+    }
+    return convertLinearLayer(w, b, calib, options);
+}
+
+TEST(Serialize, LayerRoundTripPreservesOutputs)
+{
+    LutLayer layer = makeLayer(1, false, true);
+    std::stringstream buffer;
+    saveLutLayer(buffer, layer);
+    LutLayer loaded = loadLutLayer(buffer);
+
+    Rng rng(2);
+    Tensor input(17, 12);
+    input.fillGaussian(rng);
+    EXPECT_LT(maxAbsDiff(layer.forward(input), loaded.forward(input)),
+              1e-6f);
+    EXPECT_EQ(loaded.shape().subvec_len, 3u);
+    EXPECT_EQ(loaded.bias().size(), 10u);
+}
+
+TEST(Serialize, QuantizationFlagSurvives)
+{
+    LutLayer layer = makeLayer(3, true, false);
+    std::stringstream buffer;
+    saveLutLayer(buffer, layer);
+    LutLayer loaded = loadLutLayer(buffer);
+    EXPECT_TRUE(loaded.hasQuantizedTables());
+
+    Rng rng(4);
+    Tensor input(9, 12);
+    input.fillGaussian(rng);
+    EXPECT_LT(maxAbsDiff(layer.forwardQuantized(input),
+                         loaded.forwardQuantized(input)),
+              1e-6f);
+}
+
+TEST(Serialize, BundleRoundTrip)
+{
+    LutModelBundle bundle;
+    bundle.layers.emplace_back("qkv", makeLayer(5, true, true));
+    bundle.layers.emplace_back("ffn1", makeLayer(6, false, false));
+
+    std::stringstream buffer;
+    saveLutModel(buffer, bundle);
+    LutModelBundle loaded = loadLutModel(buffer);
+    ASSERT_EQ(loaded.layers.size(), 2u);
+    EXPECT_EQ(loaded.layers[0].first, "qkv");
+    EXPECT_NO_THROW(loaded.layer("ffn1"));
+    EXPECT_THROW(loaded.layer("missing"), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const std::string path = "/tmp/pimdl_test_model.bin";
+    LutModelBundle bundle;
+    bundle.layers.emplace_back("only", makeLayer(7, true, true));
+    saveLutModelFile(path, bundle);
+    LutModelBundle loaded = loadLutModelFile(path);
+    EXPECT_EQ(loaded.layers.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageMagic)
+{
+    std::stringstream buffer;
+    buffer.write("NOPE", 4);
+    buffer.write("\0\0\0\0\0\0\0\0", 8);
+    EXPECT_THROW(loadLutModel(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream)
+{
+    LutLayer layer = makeLayer(8, false, false);
+    std::stringstream buffer;
+    saveLutLayer(buffer, layer);
+    const std::string full = buffer.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(loadLutLayer(cut), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(loadLutModelFile("/nonexistent/dir/model.bin"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace pimdl

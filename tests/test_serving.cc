@@ -1,0 +1,124 @@
+/** @file Batched-serving simulator tests. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/serving.h"
+
+namespace pimdl {
+namespace {
+
+class ServingTest : public ::testing::Test
+{
+  protected:
+    ServingTest()
+        : engine_(upmemPlatform(), xeon4210Dual()),
+          model_(customTransformer("serve-test", 256, 2, 128, 1)),
+          sim_(engine_, model_, LutNnParams{4, 16})
+    {}
+
+    PimDlEngine engine_;
+    TransformerConfig model_;
+    ServingSimulator sim_;
+};
+
+TEST_F(ServingTest, ConservesRequests)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = 20.0;
+    cfg.max_batch = 8;
+    cfg.max_wait_s = 0.2;
+    cfg.horizon_s = 60.0;
+    const ServingStats stats = sim_.simulate(cfg);
+    EXPECT_GT(stats.requests, 0u);
+    EXPECT_GT(stats.batches, 0u);
+    // throughput * span ~ completed requests = all requests.
+    EXPECT_GT(stats.throughput_rps, 0.0);
+    EXPECT_LE(stats.mean_batch_size, 8.0);
+    EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+TEST_F(ServingTest, DeterministicForSeed)
+{
+    ServingConfig cfg;
+    cfg.horizon_s = 30.0;
+    const ServingStats a = sim_.simulate(cfg);
+    const ServingStats b = sim_.simulate(cfg);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+}
+
+TEST_F(ServingTest, PercentilesAreOrdered)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = 30.0;
+    cfg.max_batch = 16;
+    cfg.horizon_s = 60.0;
+    const ServingStats stats = sim_.simulate(cfg);
+    EXPECT_LE(stats.p50_latency_s, stats.p95_latency_s);
+    EXPECT_LE(stats.p95_latency_s, stats.p99_latency_s);
+    EXPECT_GT(stats.mean_latency_s, 0.0);
+    EXPECT_GE(stats.utilization, 0.0);
+    EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+}
+
+TEST_F(ServingTest, HigherLoadRaisesBatchSizes)
+{
+    ServingConfig low;
+    low.arrival_rate = 2.0;
+    low.max_batch = 32;
+    low.max_wait_s = 0.05;
+    low.horizon_s = 60.0;
+    ServingConfig high = low;
+    high.arrival_rate = 200.0;
+    const ServingStats a = sim_.simulate(low);
+    const ServingStats b = sim_.simulate(high);
+    EXPECT_GT(b.mean_batch_size, a.mean_batch_size);
+}
+
+TEST_F(ServingTest, LongerWaitDeadlineGrowsBatches)
+{
+    ServingConfig eager;
+    eager.arrival_rate = 20.0;
+    eager.max_batch = 32;
+    eager.max_wait_s = 0.01;
+    eager.horizon_s = 60.0;
+    ServingConfig patient = eager;
+    patient.max_wait_s = 1.0;
+    const ServingStats a = sim_.simulate(eager);
+    const ServingStats b = sim_.simulate(patient);
+    EXPECT_GE(b.mean_batch_size, a.mean_batch_size);
+}
+
+TEST_F(ServingTest, BatchLatencyMemoizedAndMonotone)
+{
+    const double b1 = sim_.batchLatency(1, false);
+    const double b8 = sim_.batchLatency(8, false);
+    EXPECT_GT(b8, b1);
+    // Second query hits the cache (same value).
+    EXPECT_DOUBLE_EQ(sim_.batchLatency(8, false), b8);
+}
+
+TEST_F(ServingTest, PipelinedServesFaster)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = 50.0;
+    cfg.max_batch = 16;
+    cfg.horizon_s = 60.0;
+    const ServingStats seq = sim_.simulate(cfg);
+    cfg.pipelined = true;
+    const ServingStats pipe = sim_.simulate(cfg);
+    EXPECT_LE(pipe.mean_latency_s, seq.mean_latency_s + 1e-9);
+}
+
+TEST_F(ServingTest, RejectsBadConfig)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = 0.0;
+    EXPECT_THROW(sim_.simulate(cfg), std::runtime_error);
+    cfg.arrival_rate = 1.0;
+    cfg.max_batch = 0;
+    EXPECT_THROW(sim_.simulate(cfg), std::runtime_error);
+}
+
+} // namespace
+} // namespace pimdl

@@ -1,0 +1,12 @@
+/** @file Build smoke test: every library links and basic paths run. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+
+TEST(Smoke, EngineConstructs)
+{
+    pimdl::PimDlEngine engine(pimdl::upmemPlatform(),
+                              pimdl::xeon4210Dual());
+    EXPECT_EQ(engine.platform().num_pes, 1024u);
+}

@@ -1,0 +1,154 @@
+/** @file Unit tests for the dense Tensor type. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace pimdl {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_EQ(t.rows(), 0u);
+    EXPECT_EQ(t.cols(), 0u);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.size(), 12u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromData)
+{
+    Tensor t(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_EQ(t(0, 0), 1.0f);
+    EXPECT_EQ(t(0, 1), 2.0f);
+    EXPECT_EQ(t(1, 0), 3.0f);
+    EXPECT_EQ(t(1, 1), 4.0f);
+}
+
+TEST(Tensor, ConstructFromDataRejectsBadSize)
+{
+    EXPECT_THROW(Tensor(2, 2, {1.0f, 2.0f}), std::runtime_error);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Tensor t(2, 3);
+    t(1, 2) = 5.0f;
+    EXPECT_EQ(t.data()[1 * 3 + 2], 5.0f);
+    EXPECT_EQ(t.rowPtr(1)[2], 5.0f);
+}
+
+TEST(Tensor, FillSetsEveryElement)
+{
+    Tensor t(4, 4);
+    t.fill(2.5f);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.data()[i], 2.5f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(2, 6);
+    t(1, 5) = 7.0f;
+    t.reshape(3, 4);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t(2, 3), 7.0f);
+}
+
+TEST(Tensor, ReshapeRejectsSizeChange)
+{
+    Tensor t(2, 6);
+    EXPECT_THROW(t.reshape(2, 5), std::runtime_error);
+}
+
+TEST(Tensor, TransposeRoundTrip)
+{
+    Rng rng(1);
+    Tensor t(3, 5);
+    t.fillGaussian(rng);
+    Tensor tt = t.transposed().transposed();
+    EXPECT_EQ(maxAbsDiff(t, tt), 0.0f);
+}
+
+TEST(Tensor, TransposeSwapsElements)
+{
+    Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+    Tensor tr = t.transposed();
+    EXPECT_EQ(tr.rows(), 3u);
+    EXPECT_EQ(tr.cols(), 2u);
+    EXPECT_EQ(tr(2, 1), 6.0f);
+    EXPECT_EQ(tr(0, 1), 4.0f);
+}
+
+TEST(Tensor, RowSlice)
+{
+    Tensor t(4, 2, {0, 1, 2, 3, 4, 5, 6, 7});
+    Tensor s = t.rowSlice(1, 3);
+    EXPECT_EQ(s.rows(), 2u);
+    EXPECT_EQ(s(0, 0), 2.0f);
+    EXPECT_EQ(s(1, 1), 5.0f);
+}
+
+TEST(Tensor, ColSlice)
+{
+    Tensor t(2, 4, {0, 1, 2, 3, 4, 5, 6, 7});
+    Tensor s = t.colSlice(1, 3);
+    EXPECT_EQ(s.cols(), 2u);
+    EXPECT_EQ(s(0, 0), 1.0f);
+    EXPECT_EQ(s(1, 1), 6.0f);
+}
+
+TEST(Tensor, SliceBoundsChecked)
+{
+    Tensor t(2, 2);
+    EXPECT_THROW(t.rowSlice(1, 3), std::runtime_error);
+    EXPECT_THROW(t.colSlice(2, 1), std::runtime_error);
+}
+
+TEST(Tensor, FillGaussianIsDeterministic)
+{
+    Rng a(42), b(42);
+    Tensor ta(8, 8), tb(8, 8);
+    ta.fillGaussian(a);
+    tb.fillGaussian(b);
+    EXPECT_EQ(maxAbsDiff(ta, tb), 0.0f);
+}
+
+TEST(Tensor, FrobeniusNorm)
+{
+    Tensor t(1, 2, {3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(frobeniusNorm(t), 5.0f);
+}
+
+TEST(Tensor, RelativeErrorZeroForIdentical)
+{
+    Rng rng(3);
+    Tensor t(5, 5);
+    t.fillGaussian(rng);
+    EXPECT_EQ(relativeError(t, t), 0.0f);
+}
+
+TEST(Tensor, RelativeErrorScalesWithPerturbation)
+{
+    Tensor ref(1, 4, {1, 1, 1, 1});
+    Tensor approx(1, 4, {1.1f, 1.1f, 1.1f, 1.1f});
+    EXPECT_NEAR(relativeError(approx, ref), 0.1f, 1e-5f);
+}
+
+TEST(Tensor, MaxAbsDiffShapeChecked)
+{
+    Tensor a(2, 2), b(2, 3);
+    EXPECT_THROW(maxAbsDiff(a, b), std::runtime_error);
+}
+
+} // namespace
+} // namespace pimdl
