@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hbm_aim.dir/bench_fig14_hbm_aim.cc.o"
+  "CMakeFiles/bench_fig14_hbm_aim.dir/bench_fig14_hbm_aim.cc.o.d"
+  "bench_fig14_hbm_aim"
+  "bench_fig14_hbm_aim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hbm_aim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_gpu_vs_pim.dir/bench_fig15_gpu_vs_pim.cc.o"
+  "CMakeFiles/bench_fig15_gpu_vs_pim.dir/bench_fig15_gpu_vs_pim.cc.o.d"
+  "bench_fig15_gpu_vs_pim"
+  "bench_fig15_gpu_vs_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_gpu_vs_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/autotune_explorer.cpp" "examples/CMakeFiles/autotune_explorer.dir/autotune_explorer.cpp.o" "gcc" "examples/CMakeFiles/autotune_explorer.dir/autotune_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pimdl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lutnn/CMakeFiles/pimdl_lutnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/pimdl_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pimdl_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/pimdl_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pimdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pimdl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pimdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_serving_estimator.dir/bert_serving_estimator.cpp.o"
+  "CMakeFiles/bert_serving_estimator.dir/bert_serving_estimator.cpp.o.d"
+  "bert_serving_estimator"
+  "bert_serving_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_serving_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_autograd.dir/ops.cc.o"
+  "CMakeFiles/pimdl_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/pimdl_autograd.dir/optimizer.cc.o"
+  "CMakeFiles/pimdl_autograd.dir/optimizer.cc.o.d"
+  "CMakeFiles/pimdl_autograd.dir/variable.cc.o"
+  "CMakeFiles/pimdl_autograd.dir/variable.cc.o.d"
+  "libpimdl_autograd.a"
+  "libpimdl_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_common.dir/csv.cc.o"
+  "CMakeFiles/pimdl_common.dir/csv.cc.o.d"
+  "CMakeFiles/pimdl_common.dir/logging.cc.o"
+  "CMakeFiles/pimdl_common.dir/logging.cc.o.d"
+  "CMakeFiles/pimdl_common.dir/parallel.cc.o"
+  "CMakeFiles/pimdl_common.dir/parallel.cc.o.d"
+  "CMakeFiles/pimdl_common.dir/table.cc.o"
+  "CMakeFiles/pimdl_common.dir/table.cc.o.d"
+  "libpimdl_common.a"
+  "libpimdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_host.dir/host_model.cc.o"
+  "CMakeFiles/pimdl_host.dir/host_model.cc.o.d"
+  "libpimdl_host.a"
+  "libpimdl_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lutnn/codebook.cc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/codebook.cc.o" "gcc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/codebook.cc.o.d"
+  "/root/repo/src/lutnn/converter.cc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/converter.cc.o" "gcc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/converter.cc.o.d"
+  "/root/repo/src/lutnn/elutnn.cc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/elutnn.cc.o" "gcc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/elutnn.cc.o.d"
+  "/root/repo/src/lutnn/flops.cc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/flops.cc.o" "gcc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/flops.cc.o.d"
+  "/root/repo/src/lutnn/kmeans.cc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/kmeans.cc.o" "gcc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/kmeans.cc.o.d"
+  "/root/repo/src/lutnn/lut_layer.cc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/lut_layer.cc.o" "gcc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/lut_layer.cc.o.d"
+  "/root/repo/src/lutnn/serialize.cc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/serialize.cc.o" "gcc" "src/lutnn/CMakeFiles/pimdl_lutnn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pimdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pimdl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pimdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_lutnn.dir/codebook.cc.o"
+  "CMakeFiles/pimdl_lutnn.dir/codebook.cc.o.d"
+  "CMakeFiles/pimdl_lutnn.dir/converter.cc.o"
+  "CMakeFiles/pimdl_lutnn.dir/converter.cc.o.d"
+  "CMakeFiles/pimdl_lutnn.dir/elutnn.cc.o"
+  "CMakeFiles/pimdl_lutnn.dir/elutnn.cc.o.d"
+  "CMakeFiles/pimdl_lutnn.dir/flops.cc.o"
+  "CMakeFiles/pimdl_lutnn.dir/flops.cc.o.d"
+  "CMakeFiles/pimdl_lutnn.dir/kmeans.cc.o"
+  "CMakeFiles/pimdl_lutnn.dir/kmeans.cc.o.d"
+  "CMakeFiles/pimdl_lutnn.dir/lut_layer.cc.o"
+  "CMakeFiles/pimdl_lutnn.dir/lut_layer.cc.o.d"
+  "CMakeFiles/pimdl_lutnn.dir/serialize.cc.o"
+  "CMakeFiles/pimdl_lutnn.dir/serialize.cc.o.d"
+  "libpimdl_lutnn.a"
+  "libpimdl_lutnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_lutnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

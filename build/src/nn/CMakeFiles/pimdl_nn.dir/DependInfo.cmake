@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/classifier.cc" "src/nn/CMakeFiles/pimdl_nn.dir/classifier.cc.o" "gcc" "src/nn/CMakeFiles/pimdl_nn.dir/classifier.cc.o.d"
+  "/root/repo/src/nn/model_config.cc" "src/nn/CMakeFiles/pimdl_nn.dir/model_config.cc.o" "gcc" "src/nn/CMakeFiles/pimdl_nn.dir/model_config.cc.o.d"
+  "/root/repo/src/nn/synthetic.cc" "src/nn/CMakeFiles/pimdl_nn.dir/synthetic.cc.o" "gcc" "src/nn/CMakeFiles/pimdl_nn.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/pimdl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pimdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_nn.dir/classifier.cc.o"
+  "CMakeFiles/pimdl_nn.dir/classifier.cc.o.d"
+  "CMakeFiles/pimdl_nn.dir/model_config.cc.o"
+  "CMakeFiles/pimdl_nn.dir/model_config.cc.o.d"
+  "CMakeFiles/pimdl_nn.dir/synthetic.cc.o"
+  "CMakeFiles/pimdl_nn.dir/synthetic.cc.o.d"
+  "libpimdl_nn.a"
+  "libpimdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

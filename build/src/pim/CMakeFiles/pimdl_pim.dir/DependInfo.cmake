@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/dpu_isa.cc" "src/pim/CMakeFiles/pimdl_pim.dir/dpu_isa.cc.o" "gcc" "src/pim/CMakeFiles/pimdl_pim.dir/dpu_isa.cc.o.d"
+  "/root/repo/src/pim/dpu_kernels.cc" "src/pim/CMakeFiles/pimdl_pim.dir/dpu_kernels.cc.o" "gcc" "src/pim/CMakeFiles/pimdl_pim.dir/dpu_kernels.cc.o.d"
+  "/root/repo/src/pim/platform.cc" "src/pim/CMakeFiles/pimdl_pim.dir/platform.cc.o" "gcc" "src/pim/CMakeFiles/pimdl_pim.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pimdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_pim.dir/dpu_isa.cc.o"
+  "CMakeFiles/pimdl_pim.dir/dpu_isa.cc.o.d"
+  "CMakeFiles/pimdl_pim.dir/dpu_kernels.cc.o"
+  "CMakeFiles/pimdl_pim.dir/dpu_kernels.cc.o.d"
+  "CMakeFiles/pimdl_pim.dir/platform.cc.o"
+  "CMakeFiles/pimdl_pim.dir/platform.cc.o.d"
+  "libpimdl_pim.a"
+  "libpimdl_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

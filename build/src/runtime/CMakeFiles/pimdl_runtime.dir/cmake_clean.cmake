@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_runtime.dir/engine.cc.o"
+  "CMakeFiles/pimdl_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/pimdl_runtime.dir/functional_transformer.cc.o"
+  "CMakeFiles/pimdl_runtime.dir/functional_transformer.cc.o.d"
+  "CMakeFiles/pimdl_runtime.dir/lut_executor.cc.o"
+  "CMakeFiles/pimdl_runtime.dir/lut_executor.cc.o.d"
+  "CMakeFiles/pimdl_runtime.dir/serving.cc.o"
+  "CMakeFiles/pimdl_runtime.dir/serving.cc.o.d"
+  "libpimdl_runtime.a"
+  "libpimdl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_tensor.dir/gemm.cc.o"
+  "CMakeFiles/pimdl_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/pimdl_tensor.dir/ops.cc.o"
+  "CMakeFiles/pimdl_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/pimdl_tensor.dir/quant.cc.o"
+  "CMakeFiles/pimdl_tensor.dir/quant.cc.o.d"
+  "CMakeFiles/pimdl_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pimdl_tensor.dir/tensor.cc.o.d"
+  "libpimdl_tensor.a"
+  "libpimdl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

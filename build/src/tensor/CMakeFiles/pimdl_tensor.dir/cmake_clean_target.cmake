@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimdl_tensor.a"
+)

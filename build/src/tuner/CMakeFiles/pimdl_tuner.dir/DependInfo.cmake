@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/autotuner.cc" "src/tuner/CMakeFiles/pimdl_tuner.dir/autotuner.cc.o" "gcc" "src/tuner/CMakeFiles/pimdl_tuner.dir/autotuner.cc.o.d"
+  "/root/repo/src/tuner/cache_model.cc" "src/tuner/CMakeFiles/pimdl_tuner.dir/cache_model.cc.o" "gcc" "src/tuner/CMakeFiles/pimdl_tuner.dir/cache_model.cc.o.d"
+  "/root/repo/src/tuner/cost_model.cc" "src/tuner/CMakeFiles/pimdl_tuner.dir/cost_model.cc.o" "gcc" "src/tuner/CMakeFiles/pimdl_tuner.dir/cost_model.cc.o.d"
+  "/root/repo/src/tuner/mapping.cc" "src/tuner/CMakeFiles/pimdl_tuner.dir/mapping.cc.o" "gcc" "src/tuner/CMakeFiles/pimdl_tuner.dir/mapping.cc.o.d"
+  "/root/repo/src/tuner/simulator.cc" "src/tuner/CMakeFiles/pimdl_tuner.dir/simulator.cc.o" "gcc" "src/tuner/CMakeFiles/pimdl_tuner.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pim/CMakeFiles/pimdl_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdl_tuner.dir/autotuner.cc.o"
+  "CMakeFiles/pimdl_tuner.dir/autotuner.cc.o.d"
+  "CMakeFiles/pimdl_tuner.dir/cache_model.cc.o"
+  "CMakeFiles/pimdl_tuner.dir/cache_model.cc.o.d"
+  "CMakeFiles/pimdl_tuner.dir/cost_model.cc.o"
+  "CMakeFiles/pimdl_tuner.dir/cost_model.cc.o.d"
+  "CMakeFiles/pimdl_tuner.dir/mapping.cc.o"
+  "CMakeFiles/pimdl_tuner.dir/mapping.cc.o.d"
+  "CMakeFiles/pimdl_tuner.dir/simulator.cc.o"
+  "CMakeFiles/pimdl_tuner.dir/simulator.cc.o.d"
+  "libpimdl_tuner.a"
+  "libpimdl_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdl_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

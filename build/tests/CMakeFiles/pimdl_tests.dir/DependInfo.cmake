@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autograd.cc" "tests/CMakeFiles/pimdl_tests.dir/test_autograd.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_autograd.cc.o.d"
+  "/root/repo/tests/test_autotuner.cc" "tests/CMakeFiles/pimdl_tests.dir/test_autotuner.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_autotuner.cc.o.d"
+  "/root/repo/tests/test_cache_model.cc" "tests/CMakeFiles/pimdl_tests.dir/test_cache_model.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_cache_model.cc.o.d"
+  "/root/repo/tests/test_classifier.cc" "tests/CMakeFiles/pimdl_tests.dir/test_classifier.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_classifier.cc.o.d"
+  "/root/repo/tests/test_codebook.cc" "tests/CMakeFiles/pimdl_tests.dir/test_codebook.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_codebook.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/pimdl_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cost_model.cc" "tests/CMakeFiles/pimdl_tests.dir/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_cost_model.cc.o.d"
+  "/root/repo/tests/test_dpu_isa.cc" "tests/CMakeFiles/pimdl_tests.dir/test_dpu_isa.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_dpu_isa.cc.o.d"
+  "/root/repo/tests/test_elutnn.cc" "tests/CMakeFiles/pimdl_tests.dir/test_elutnn.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_elutnn.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/pimdl_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_flops.cc" "tests/CMakeFiles/pimdl_tests.dir/test_flops.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_flops.cc.o.d"
+  "/root/repo/tests/test_functional_transformer.cc" "tests/CMakeFiles/pimdl_tests.dir/test_functional_transformer.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_functional_transformer.cc.o.d"
+  "/root/repo/tests/test_gemm.cc" "tests/CMakeFiles/pimdl_tests.dir/test_gemm.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_gemm.cc.o.d"
+  "/root/repo/tests/test_host_model.cc" "tests/CMakeFiles/pimdl_tests.dir/test_host_model.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_host_model.cc.o.d"
+  "/root/repo/tests/test_kmeans.cc" "tests/CMakeFiles/pimdl_tests.dir/test_kmeans.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_kmeans.cc.o.d"
+  "/root/repo/tests/test_lut_executor.cc" "tests/CMakeFiles/pimdl_tests.dir/test_lut_executor.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_lut_executor.cc.o.d"
+  "/root/repo/tests/test_lut_layer.cc" "tests/CMakeFiles/pimdl_tests.dir/test_lut_layer.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_lut_layer.cc.o.d"
+  "/root/repo/tests/test_ops.cc" "tests/CMakeFiles/pimdl_tests.dir/test_ops.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_ops.cc.o.d"
+  "/root/repo/tests/test_optimizer.cc" "tests/CMakeFiles/pimdl_tests.dir/test_optimizer.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_optimizer.cc.o.d"
+  "/root/repo/tests/test_platform.cc" "tests/CMakeFiles/pimdl_tests.dir/test_platform.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_platform.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/pimdl_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_quant.cc" "tests/CMakeFiles/pimdl_tests.dir/test_quant.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_quant.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/pimdl_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_serving.cc" "tests/CMakeFiles/pimdl_tests.dir/test_serving.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_serving.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/pimdl_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/pimdl_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/pimdl_tests.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_tensor.cc" "tests/CMakeFiles/pimdl_tests.dir/test_tensor.cc.o" "gcc" "tests/CMakeFiles/pimdl_tests.dir/test_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pimdl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lutnn/CMakeFiles/pimdl_lutnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/pimdl_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pimdl_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/pimdl_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pimdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pimdl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pimdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pimdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
