@@ -25,8 +25,10 @@ using namespace pimdl;
 using namespace pimdl::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     const TransformerConfig model = bertBase();
     const LutNnParams params{4, 16};
 
@@ -157,5 +159,6 @@ main()
         }
         table.print(std::cout);
     }
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

@@ -16,13 +16,16 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "runtime/engine.h"
+#include "runtime/serving.h"
 
 using namespace pimdl;
 using namespace pimdl::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout, "Figure 10-(a): End-to-end throughput");
 
     PimDlEngine engine(upmemPlatform(), xeon4210Dual());
@@ -46,8 +49,14 @@ main()
     std::vector<std::pair<TransformerConfig,
                           std::vector<Entry>>> all_results;
 
-    for (const TransformerConfig &model :
-         {bertBase(), bertLarge(), vitHuge()}) {
+    // --smoke keeps CI fast: only the smallest paper workload.
+    std::vector<TransformerConfig> models{bertBase()};
+    if (!opts.smoke) {
+        models.push_back(bertLarge());
+        models.push_back(vitHuge());
+    }
+
+    for (const TransformerConfig &model : models) {
         const InferenceEstimate fp32 =
             estimateHostInference(cpu, model, HostDtype::Fp32);
         const InferenceEstimate int8 =
@@ -156,5 +165,33 @@ main()
               << "  V=4 vs PIM-GEMM: "
               << TablePrinter::fmtRatio(geomean(en_v4_pim))
               << "  (paper 16.74x)\n";
+
+    // End-to-end here also means serving: a short batched-serving
+    // simulation populates the serving.* latency/queue metrics so the
+    // --metrics-out artifact carries the full observability schema.
+    printBanner(std::cout, "Serving smoke (batched queue on BERT-base)");
+    {
+        ServingSimulator sim(engine, bertBase(), v4);
+        ServingConfig serving;
+        serving.max_batch = 32;
+        // Offer ~60% of the engine's full-batch capacity so the queue
+        // is stable and the latency percentiles are meaningful.
+        const double capacity =
+            static_cast<double>(serving.max_batch) /
+            sim.batchLatency(serving.max_batch, false);
+        serving.arrival_rate = 0.6 * capacity;
+        serving.max_wait_s = 0.25;
+        serving.horizon_s = opts.smoke ? 20.0 : 60.0;
+        const ServingStats stats = sim.simulate(serving);
+        std::cout << "  requests=" << stats.requests
+                  << " batches=" << stats.batches << " p50="
+                  << TablePrinter::fmt(stats.p50_latency_s, 3) << "s p99="
+                  << TablePrinter::fmt(stats.p99_latency_s, 3)
+                  << "s util="
+                  << TablePrinter::fmt(stats.utilization * 100.0, 1)
+                  << "%\n";
+    }
+
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

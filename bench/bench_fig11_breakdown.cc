@@ -18,8 +18,10 @@ using namespace pimdl;
 using namespace pimdl::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     PimDlEngine engine(upmemPlatform(), xeon4210Dual());
     const HostModel cpu_int8(xeonGold5218Dual());
     const LutNnParams v4{4, 16};
@@ -83,5 +85,6 @@ main()
                  "1.78x, FFN2 2.38x (1.81x overall); FFN2 gains most "
                  "because it has the largest inner dim, O least because "
                  "it is the smallest layer.\n";
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

@@ -31,8 +31,10 @@ normSpeedup(const PimDlEngine &engine, const TransformerConfig &model,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     PimDlEngine engine(upmemPlatform(), xeon4210Dual());
     std::vector<TransformerConfig> models{bertBase(), bertLarge(),
                                           vitHuge()};
@@ -109,5 +111,6 @@ main()
                   << " (paper: 2.44x; larger hidden dims favor PIM-DL "
                      "because the CPU scales worse).\n";
     }
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <limits>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "tuner/autotuner.h"
 #include "tuner/simulator.h"
@@ -48,8 +49,10 @@ struct SchemeStats
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout,
                 "Figure 13: LUT-NN mapping space on UPMEM "
                 "(BERT-large FFN1, N=32768 CB=256 CT=16 F=4096)");
@@ -245,5 +248,6 @@ main()
                              sim_best, 2)
                   << "% degradation (paper: <= 6%)\n";
     }
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

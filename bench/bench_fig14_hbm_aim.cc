@@ -16,8 +16,10 @@ using namespace pimdl;
 using namespace pimdl::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout,
                 "Figure 14: Normal PIM-based DNN inference vs PIM-DL "
                 "(seq 128, V=4/CT=16)");
@@ -60,5 +62,6 @@ main()
                  "because batching is unfriendly to the GEMV-optimized "
                  "products, and shrinks slightly as the hidden dim "
                  "grows (their dataflow prefers flat matrices).\n";
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

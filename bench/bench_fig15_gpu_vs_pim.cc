@@ -15,8 +15,10 @@ using namespace pimdl;
 using namespace pimdl::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout,
                 "Figure 15: GPU-based inference vs PIM-DL (seq 128, "
                 "V=4/CT=16, V100 FP32 baseline)");
@@ -58,5 +60,6 @@ main()
                  "1.20x of V100 (16 TFLOPS product); HBM-PIM-based "
                  "PIM-DL reaches 0.39x geomean (4.8 TFLOPS vs the "
                  "V100's far larger compute).\n";
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "lutnn/flops.h"
 
@@ -35,8 +36,10 @@ reportPoint(TablePrinter &table, std::size_t v, std::size_t ct)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout,
                 "Figure 3: Computation Reduction Analysis (N=H=F=1024)");
 
@@ -60,5 +63,6 @@ main()
 
     std::cout << "\nPaper reference: reduction spans 3.66x-18.29x and "
                  "multiplies are 2.9%-14.3% of LUT-NN ops.\n";
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "host/host_model.h"
 #include "lutnn/flops.h"
@@ -35,8 +36,10 @@ lineGranularIntensity(std::size_t n, std::size_t h, std::size_t f,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout, "Figure 4: Roofline Analysis of LUT Kernels");
 
     const HostProcessorConfig cpu = xeon4210Dual();
@@ -73,5 +76,6 @@ main()
 
     std::cout << "\nPaper reference: all kernels land at 0.204-0.288 "
                  "ops/byte, inside the memory-bound region.\n";
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

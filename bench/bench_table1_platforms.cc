@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "host/host_model.h"
 #include "pim/platform.h"
@@ -15,8 +16,10 @@
 using namespace pimdl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout,
                 "Table 1: Comparison of commodity DRAM-PIMs (modeled)");
     {
@@ -86,5 +89,6 @@ main()
         }
         table.print(std::cout);
     }
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

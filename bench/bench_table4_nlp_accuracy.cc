@@ -72,8 +72,10 @@ nlpExperiment(const std::string &name, std::size_t layers,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout,
                 "Table 4: NLP-analog accuracy under full-layer LUT "
                 "replacement (V=2, CT=16)");
@@ -123,5 +125,6 @@ main()
     std::cout << "Paper reference (BERT-base GLUE avg): original 79.0, "
                  "baseline LUT-NN 35.5, eLUT-NN 76.9 (with <1% of the "
                  "pre-training tokens).\n";
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

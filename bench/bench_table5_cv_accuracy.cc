@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_util.h"
 #include "accuracy_harness.h"
 #include "common/table.h"
 
@@ -62,8 +63,10 @@ cvExperiment(const std::string &name, std::size_t layers,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const pimdl::bench::BenchOptions opts =
+        pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout,
                 "Table 5: vision-analog accuracy under full-layer LUT "
                 "replacement (V=2, CT=16)");
@@ -101,5 +104,6 @@ main()
 
     std::cout << "\nPaper reference (ViT-base CIFAR-10): original 98.5, "
                  "baseline LUT-NN 10.1 (random), eLUT-NN 96.3.\n";
+    pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

@@ -1,14 +1,21 @@
 /**
  * @file
- * Shared helpers for the benchmark harnesses: geometric means and the
- * standard set of paper workloads.
+ * Shared helpers for the benchmark harnesses: geometric means, the
+ * standard observability flags (--metrics-out / --trace-out / --smoke),
+ * and artifact emission so every bench binary leaves behind a
+ * machine-readable metrics snapshot for CI and run-to-run comparison.
  */
 
 #ifndef PIMDL_BENCH_BENCH_UTIL_H
 #define PIMDL_BENCH_BENCH_UTIL_H
 
 #include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
 #include <vector>
+
+#include "obs/snapshot.h"
 
 namespace pimdl {
 namespace bench {
@@ -23,6 +30,72 @@ geomean(const std::vector<double> &values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Command-line options shared by all bench binaries. */
+struct BenchOptions
+{
+    /** Write pimdl::obs::snapshotJson() here after the run. */
+    std::string metrics_out;
+    /** Write the Chrome trace of the run here. */
+    std::string trace_out;
+    /** Reduced workload for CI smoke runs. */
+    bool smoke = false;
+};
+
+/**
+ * Parses the shared bench flags; exits with usage on unknown arguments
+ * so CI catches typos instead of silently running the default config.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics-out" && i + 1 < argc) {
+            opts.metrics_out = argv[++i];
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            opts.trace_out = argv[++i];
+        } else if (arg == "--smoke") {
+            opts.smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: " << argv[0]
+                      << " [--smoke] [--metrics-out <file>]"
+                         " [--trace-out <file>]\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n"
+                      << "usage: " << argv[0]
+                      << " [--smoke] [--metrics-out <file>]"
+                         " [--trace-out <file>]\n";
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Emits the requested metrics/trace artifacts at the end of a run. */
+inline void
+writeBenchArtifacts(const BenchOptions &opts)
+{
+    try {
+        if (!opts.metrics_out.empty()) {
+            pimdl::obs::writeSnapshotJson(opts.metrics_out);
+            std::cerr << "[bench] metrics snapshot written to "
+                      << opts.metrics_out << "\n";
+        }
+        if (!opts.trace_out.empty()) {
+            pimdl::obs::writeChromeTrace(opts.trace_out);
+            std::cerr << "[bench] chrome trace written to "
+                      << opts.trace_out
+                      << " (open at chrome://tracing)\n";
+        }
+    } catch (const std::exception &e) {
+        // A failed artifact write must not look like a crashed bench.
+        std::cerr << "[bench] error: " << e.what() << "\n";
+        std::exit(1);
+    }
 }
 
 } // namespace bench

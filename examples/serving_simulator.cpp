@@ -5,13 +5,18 @@
  * throughput, latency percentiles, batch sizes, and utilization — the
  * cloud-serving scenario the paper motivates PIM-DL with.
  *
- * Usage: serving_simulator [hidden] [layers] [seq]
+ * Usage: serving_simulator [hidden] [layers] [seq] [metrics.json]
+ *
+ * When a fourth argument is given, the full observability snapshot of
+ * the sweep (serving latency histograms, queue depths, tuner counters)
+ * is written there as JSON.
  */
 
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.h"
+#include "obs/snapshot.h"
 #include "runtime/serving.h"
 
 using namespace pimdl;
@@ -64,5 +69,10 @@ main(int argc, char **argv)
                  "and batch size climb together with load, which is why "
                  "the paper targets batched cloud serving rather than "
                  "single-request inference.\n";
+
+    if (argc > 4) {
+        obs::writeSnapshotJson(argv[4]);
+        std::cout << "\nmetrics snapshot written to " << argv[4] << "\n";
+    }
     return 0;
 }

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a pimdl metrics snapshot (--metrics-out artifact).
+
+Used by the CI bench-smoke job as a scaffold for perf-regression gating:
+it fails the build when the snapshot is not valid JSON, does not carry
+the expected schema id, or is missing the metric keys every later perf
+PR relies on (per-role CCS/LUT split, serving latency percentiles,
+tuner search counters).
+
+Usage: check_metrics.py <snapshot.json>
+"""
+
+import json
+import re
+import sys
+
+SCHEMA = "pimdl.metrics.v1"
+
+REQUIRED_COUNTERS = [
+    "engine.estimates",
+    "serving.requests",
+    "serving.batches",
+    "tuner.searches",
+    "tuner.mappings_evaluated",
+    "tuner.mappings_pruned",
+]
+
+# Regexes so the check survives role renames/additions as long as the
+# per-role split itself is still published.
+REQUIRED_GAUGE_PATTERNS = [
+    r"engine\.role\..+\.ccs_s",
+    r"engine\.role\..+\.lut_s",
+    r"serving\.utilization",
+]
+
+REQUIRED_HISTOGRAMS = [
+    "engine.ccs_s",
+    "engine.lut_s",
+    "engine.total_s",
+    "serving.request_latency_s",
+    "serving.batch_size",
+    "serving.queue_depth",
+    "tuner.search_wall_s",
+]
+
+HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"]
+
+
+def fail(message):
+    print(f"check_metrics: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <snapshot.json>")
+
+    try:
+        with open(sys.argv[1]) as fh:
+            snap = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot load snapshot: {exc}")
+
+    if snap.get("schema") != SCHEMA:
+        fail(f"schema mismatch: {snap.get('schema')!r} != {SCHEMA!r}")
+
+    for section in ("counters", "gauges", "histograms", "trace"):
+        if section not in snap:
+            fail(f"missing section {section!r}")
+
+    for name in REQUIRED_COUNTERS:
+        if name not in snap["counters"]:
+            fail(f"missing counter {name!r}")
+
+    for pattern in REQUIRED_GAUGE_PATTERNS:
+        if not any(re.fullmatch(pattern, g) for g in snap["gauges"]):
+            fail(f"no gauge matches {pattern!r}")
+
+    for name in REQUIRED_HISTOGRAMS:
+        hist = snap["histograms"].get(name)
+        if hist is None:
+            fail(f"missing histogram {name!r}")
+        for field in HISTOGRAM_FIELDS:
+            if field not in hist:
+                fail(f"histogram {name!r} missing field {field!r}")
+        if hist["count"] == 0:
+            fail(f"histogram {name!r} recorded no samples")
+
+    # Sanity: the serving percentiles must be ordered and positive.
+    serving = snap["histograms"]["serving.request_latency_s"]
+    if not (0 < serving["p50"] <= serving["p95"] <= serving["p99"]):
+        fail(
+            "serving latency percentiles not ordered: "
+            f"p50={serving['p50']} p95={serving['p95']} p99={serving['p99']}"
+        )
+
+    n_counters = len(snap["counters"])
+    n_gauges = len(snap["gauges"])
+    n_hists = len(snap["histograms"])
+    print(
+        f"check_metrics: OK ({n_counters} counters, {n_gauges} gauges, "
+        f"{n_hists} histograms, trace recorded={snap['trace']['recorded']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

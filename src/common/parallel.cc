@@ -1,12 +1,27 @@
 #include "parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pimdl {
+
+namespace {
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
 
 std::size_t
 parallelWorkerCount()
@@ -21,11 +36,27 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
     if (count == 0)
         return;
 
+    // Cached metric references: the registry never invalidates them.
+    static obs::Counter &calls =
+        obs::MetricsRegistry::instance().counter("parallel.calls");
+    static obs::Counter &items =
+        obs::MetricsRegistry::instance().counter("parallel.items");
+    static obs::Gauge &worker_gauge =
+        obs::MetricsRegistry::instance().gauge("parallel.workers");
+    static obs::Histogram &utilization =
+        obs::MetricsRegistry::instance().histogram(
+            "parallel.worker_utilization");
+
+    calls.add();
+    items.add(count);
+
     const std::size_t workers =
         std::min<std::size_t>(parallelWorkerCount(), count);
+    worker_gauge.set(static_cast<double>(workers));
     if (workers <= 1) {
         for (std::size_t i = 0; i < count; ++i)
             body(i);
+        utilization.record(1.0);
         return;
     }
 
@@ -33,6 +64,8 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
     pool.reserve(workers);
     std::exception_ptr first_error;
     std::mutex error_mutex;
+    std::vector<double> busy_s(workers, 0.0);
+    const auto wall_start = std::chrono::steady_clock::now();
 
     const std::size_t chunk = (count + workers - 1) / workers;
     for (std::size_t w = 0; w < workers; ++w) {
@@ -40,7 +73,8 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
         const std::size_t end = std::min(count, begin + chunk);
         if (begin >= end)
             break;
-        pool.emplace_back([&, begin, end]() {
+        pool.emplace_back([&, w, begin, end]() {
+            const auto start = std::chrono::steady_clock::now();
             try {
                 for (std::size_t i = begin; i < end; ++i)
                     body(i);
@@ -49,10 +83,24 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
                 if (!first_error)
                     first_error = std::current_exception();
             }
+            busy_s[w] = secondsSince(start);
         });
     }
     for (auto &t : pool)
         t.join();
+
+    // Utilization = mean busy fraction across workers for this call;
+    // 1.0 means perfectly balanced shards, low values mean stragglers.
+    const double wall = secondsSince(wall_start);
+    if (wall > 0.0) {
+        double busy_total = 0.0;
+        for (double b : busy_s)
+            busy_total += b;
+        utilization.record(
+            std::min(1.0, busy_total / (wall * static_cast<double>(
+                                                   pool.size()))));
+    }
+
     if (first_error)
         std::rethrow_exception(first_error);
 }

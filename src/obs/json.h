@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tiny JSON emission helpers shared by the observability subsystem.
+ *
+ * Only what metrics/trace export needs: string escaping and a locale-
+ * independent number formatter. Not a JSON library — the obs layer only
+ * ever writes JSON, it never parses it.
+ */
+
+#ifndef PIMDL_OBS_JSON_H
+#define PIMDL_OBS_JSON_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace pimdl {
+namespace obs {
+
+/** Escapes @p raw for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (char c : raw) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Quoted, escaped JSON string token. */
+inline std::string
+jsonString(const std::string &raw)
+{
+    return "\"" + jsonEscape(raw) + "\"";
+}
+
+/**
+ * JSON number token for @p value. JSON has no NaN/Inf literals, so
+ * non-finite values degrade to null (consumers treat it as "absent").
+ */
+inline std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+} // namespace obs
+} // namespace pimdl
+
+#endif // PIMDL_OBS_JSON_H

@@ -1,0 +1,252 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "json.h"
+
+namespace pimdl {
+namespace obs {
+
+Histogram::Histogram(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    samples_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void
+Histogram::record(double sample)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    sum_ += sample;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(sample);
+    } else {
+        // Keyed reservoir: a cheap deterministic hash of the arrival
+        // index spreads replacements across the buffer, so the retained
+        // set stays a representative mix of old and new samples.
+        const std::uint64_t slot = (count_ * 2654435761ULL) % capacity_;
+        samples_[static_cast<std::size_t>(slot)] = sample;
+    }
+    ++count_;
+}
+
+double
+Histogram::percentileLocked(std::vector<double> sorted, double p) const
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    p = std::min(1.0, std::max(0.0, p));
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return percentileLocked(samples_, p);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    HistogramSnapshot s;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    s.mean = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&](double p) {
+        if (sorted.empty())
+            return 0.0;
+        const double rank = p * static_cast<double>(sorted.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+    };
+    s.p50 = pct(0.50);
+    s.p95 = pct(0.95);
+    s.p99 = pct(0.99);
+    return s;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return count_;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    samples_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+namespace {
+
+/** One name must keep one metric kind for the process lifetime. */
+void
+requireUnclaimed(const std::map<std::string, std::unique_ptr<Counter>> &a,
+                 const std::map<std::string, std::unique_ptr<Gauge>> &b,
+                 const std::map<std::string, std::unique_ptr<Histogram>> &c,
+                 const std::string &name)
+{
+    if (a.count(name) || b.count(name) || c.count(name))
+        throw std::logic_error("metric '" + name +
+                               "' already registered with another kind");
+}
+
+} // namespace
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        requireUnclaimed({}, gauges_, histograms_, name);
+        it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        requireUnclaimed(counters_, {}, histograms_, name);
+        it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        requireUnclaimed(counters_, gauges_, {}, name);
+        it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+    }
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        out.emplace_back(name, h->snapshot());
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    const auto cs = counters();
+    const auto gs = gauges();
+    const auto hs = histograms();
+
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+        if (i)
+            out << ",";
+        out << jsonString(cs[i].first) << ":" << cs[i].second;
+    }
+    out << "},\"gauges\":{";
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+        if (i)
+            out << ",";
+        out << jsonString(gs[i].first) << ":" << jsonNumber(gs[i].second);
+    }
+    out << "},\"histograms\":{";
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+        if (i)
+            out << ",";
+        const HistogramSnapshot &s = hs[i].second;
+        out << jsonString(hs[i].first) << ":{"
+            << "\"count\":" << s.count << ",\"sum\":" << jsonNumber(s.sum)
+            << ",\"min\":" << jsonNumber(s.min)
+            << ",\"max\":" << jsonNumber(s.max)
+            << ",\"mean\":" << jsonNumber(s.mean)
+            << ",\"p50\":" << jsonNumber(s.p50)
+            << ",\"p95\":" << jsonNumber(s.p95)
+            << ",\"p99\":" << jsonNumber(s.p99) << "}";
+    }
+    out << "}}";
+    return out.str();
+}
+
+} // namespace obs
+} // namespace pimdl

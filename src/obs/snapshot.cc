@@ -1,0 +1,65 @@
+#include "snapshot.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "json.h"
+#include "metrics.h"
+#include "trace.h"
+
+namespace pimdl {
+namespace obs {
+
+std::string
+snapshotJson()
+{
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    Tracer &tracer = Tracer::instance();
+
+    // Splice the registry's {"counters":...} object into the envelope.
+    const std::string metrics = registry.toJson();
+
+    std::ostringstream out;
+    out << "{\"schema\":" << jsonString(kSnapshotSchema) << ","
+        << metrics.substr(1, metrics.size() - 2) << ",\"trace\":{"
+        << "\"recorded\":" << tracer.recorded()
+        << ",\"retained\":" << tracer.events().size()
+        << ",\"dropped\":" << tracer.dropped() << "}}";
+    return out.str();
+}
+
+void
+writeSnapshotJson(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open metrics output file: " +
+                                 path);
+    out << snapshotJson() << "\n";
+    if (!out)
+        throw std::runtime_error("failed writing metrics output file: " +
+                                 path);
+}
+
+void
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open trace output file: " + path);
+    out << Tracer::instance().toChromeJson() << "\n";
+    if (!out)
+        throw std::runtime_error("failed writing trace output file: " +
+                                 path);
+}
+
+void
+resetAll()
+{
+    MetricsRegistry::instance().reset();
+    Tracer::instance().clear();
+}
+
+} // namespace obs
+} // namespace pimdl

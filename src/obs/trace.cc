@@ -1,0 +1,189 @@
+#include "trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "json.h"
+
+namespace pimdl {
+namespace obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now())
+{
+    ring_.reserve(capacity_);
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    ring_.clear();
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+    head_ = 0;
+    total_ = 0;
+}
+
+std::size_t
+Tracer::capacity() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return capacity_;
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    if (!enabled_.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+    } else {
+        ring_[head_] = std::move(event);
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    // head_ is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::uint64_t
+Tracer::recorded() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return total_;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
+}
+
+std::uint64_t
+Tracer::nowMicros() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+std::uint64_t
+Tracer::currentThreadId()
+{
+    // Dense ids in registration order read better in the viewer than
+    // raw pthread handles.
+    static std::atomic<std::uint64_t> next{0};
+    thread_local const std::uint64_t id = next.fetch_add(1);
+    return id;
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    const std::vector<TraceEvent> evs = events();
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        const TraceEvent &e = evs[i];
+        if (i)
+            out << ",";
+        out << "{\"name\":" << jsonString(e.name)
+            << ",\"cat\":\"pimdl\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+            << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
+        if (!e.args.empty()) {
+            out << ",\"args\":{";
+            for (std::size_t a = 0; a < e.args.size(); ++a) {
+                if (a)
+                    out << ",";
+                out << jsonString(e.args[a].first) << ":"
+                    << e.args[a].second;
+            }
+            out << "}";
+        }
+        out << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+TraceSpan::TraceSpan(std::string name)
+{
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled())
+        return;
+    active_ = true;
+    event_.name = std::move(name);
+    event_.ts_us = tracer.nowMicros();
+    event_.tid = Tracer::currentThreadId();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    Tracer &tracer = Tracer::instance();
+    const std::uint64_t end = tracer.nowMicros();
+    event_.dur_us = end > event_.ts_us ? end - event_.ts_us : 0;
+    tracer.record(std::move(event_));
+}
+
+void
+TraceSpan::attr(const std::string &key, const std::string &value)
+{
+    if (active_)
+        event_.args.emplace_back(key, jsonString(value));
+}
+
+void
+TraceSpan::attr(const std::string &key, const char *value)
+{
+    attr(key, std::string(value));
+}
+
+void
+TraceSpan::attr(const std::string &key, double value)
+{
+    if (active_)
+        event_.args.emplace_back(key, jsonNumber(value));
+}
+
+void
+TraceSpan::attr(const std::string &key, std::uint64_t value)
+{
+    if (active_)
+        event_.args.emplace_back(key, std::to_string(value));
+}
+
+} // namespace obs
+} // namespace pimdl

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Scoped-span flight recorder: nested timed spans with key/value
+ * attributes, recorded into a bounded ring buffer and exportable as
+ * Chrome trace-event JSON (load the file at chrome://tracing or
+ * https://ui.perfetto.dev to see the timeline).
+ *
+ * Spans are complete events ("ph":"X"): a TraceSpan stamps its start on
+ * construction and records one event on destruction, so nesting falls
+ * out of scope nesting and the viewer reconstructs the stack from
+ * timestamps. The ring buffer makes the recorder safe to leave enabled
+ * in long serving runs: memory is bounded and the newest spans win.
+ */
+
+#ifndef PIMDL_OBS_TRACE_H
+#define PIMDL_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pimdl {
+namespace obs {
+
+/** One completed span. Attribute values are pre-encoded JSON tokens. */
+struct TraceEvent
+{
+    std::string name;
+    /** Microseconds since the tracer's epoch (process start). */
+    std::uint64_t ts_us = 0;
+    std::uint64_t dur_us = 0;
+    /** Small stable id of the recording thread. */
+    std::uint64_t tid = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** Process-wide span ring buffer. */
+class Tracer
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    static Tracer &instance();
+
+    /** Recording on/off; spans are no-ops while disabled. */
+    void setEnabled(bool enabled) { enabled_.store(enabled); }
+    bool enabled() const { return enabled_.load(); }
+
+    /** Resizes the ring buffer (drops recorded events). */
+    void setCapacity(std::size_t capacity);
+    std::size_t capacity() const;
+
+    void record(TraceEvent event);
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Total spans recorded since the last clear (including dropped). */
+    std::uint64_t recorded() const;
+    /** Spans overwritten because the ring wrapped. */
+    std::uint64_t dropped() const;
+
+    void clear();
+
+    /** Chrome trace-event JSON ({"traceEvents":[...]}). */
+    std::string toChromeJson() const;
+
+    /** Microseconds since the tracer's epoch. */
+    std::uint64_t nowMicros() const;
+
+    /** Small stable id for the calling thread. */
+    static std::uint64_t currentThreadId();
+
+  private:
+    Tracer();
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_;
+    std::size_t capacity_ = kDefaultCapacity;
+    std::size_t head_ = 0;
+    std::uint64_t total_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<bool> enabled_{true};
+};
+
+/**
+ * RAII span: times the enclosing scope and records it on destruction.
+ * Attributes show up under "args" in the trace viewer.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(std::string name);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    void attr(const std::string &key, const std::string &value);
+    void attr(const std::string &key, const char *value);
+    void attr(const std::string &key, double value);
+    void attr(const std::string &key, std::uint64_t value);
+
+  private:
+    TraceEvent event_;
+    bool active_ = false;
+};
+
+} // namespace obs
+} // namespace pimdl
+
+#endif // PIMDL_OBS_TRACE_H

@@ -3,8 +3,28 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace pimdl {
+
+namespace {
+
+/** Aggregates interpreter activity into the process metrics registry. */
+void
+publishDpuRunStats(const DpuRunStats &stats)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    static obs::Counter &runs = reg.counter("dpu.kernel_runs");
+    static obs::Counter &instructions = reg.counter("dpu.instructions");
+    static obs::Counter &cycles = reg.counter("dpu.cycles");
+    static obs::Counter &dma_bytes = reg.counter("dpu.dma_bytes");
+    runs.add();
+    instructions.add(stats.instructions);
+    cycles.add(stats.cycles);
+    dma_bytes.add(stats.dma_bytes);
+}
+
+} // namespace
 
 DpuPe::DpuPe(std::size_t wram_bytes, std::size_t mram_bytes)
     : wram_(wram_bytes, 0), mram_(mram_bytes, 0)
@@ -149,9 +169,11 @@ DpuPe::run(const std::vector<DpuInstr> &program, std::uint64_t max_steps)
           }
           case DpuOp::Halt:
             stats.halted = true;
+            publishDpuRunStats(stats);
             return stats;
         }
     }
+    publishDpuRunStats(stats);
     return stats;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pimdl {
 
@@ -71,6 +73,12 @@ PimDlEngine::estimatePimDlImpl(const TransformerConfig &model,
                 ",CT=" + std::to_string(params.centroids) + ")@" +
                 platform_.name;
 
+    obs::TraceSpan span("engine.estimatePimDl");
+    span.attr("model", model.name);
+    span.attr("batch", static_cast<std::uint64_t>(model.batch));
+    span.attr("platform", platform_.name);
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+
     for (const LinearWorkload &w : model.linearWorkloads()) {
         LutWorkloadShape shape;
         shape.n = w.n;
@@ -113,9 +121,25 @@ PimDlEngine::estimatePimDlImpl(const TransformerConfig &model,
             cost.link_bytes * static_cast<double>(model.layers);
         est.total_s += layer.lut_s + layer.ccs_s;
         est.per_linear.push_back(layer);
+
+        // Per-LinearRole CCS/LUT split (the Figure 11-(b) breakdown),
+        // published as gauges holding the most recent estimate.
+        const std::string role = linearRoleName(w.role);
+        reg.gauge("engine.role." + role + ".ccs_s").set(layer.ccs_s);
+        reg.gauge("engine.role." + role + ".lut_s").set(layer.lut_s);
     }
 
     addHostSideOps(model, est, HostDtype::Fp32);
+
+    static obs::Counter &estimates = reg.counter("engine.estimates");
+    static obs::Histogram &h_ccs = reg.histogram("engine.ccs_s");
+    static obs::Histogram &h_lut = reg.histogram("engine.lut_s");
+    static obs::Histogram &h_total = reg.histogram("engine.total_s");
+    estimates.add();
+    h_ccs.record(est.ccs_s);
+    h_lut.record(est.lut_s);
+    h_total.record(est.total_s);
+    span.attr("total_s", est.total_s);
 
     const EnergyModel energy_model(platform_);
     // PIM-DIMMs stay powered for the whole inference (no DVFS), so PIM

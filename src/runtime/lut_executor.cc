@@ -1,6 +1,8 @@
 #include "lut_executor.h"
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pimdl {
 
@@ -34,6 +36,36 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
     const std::size_t groups = mapping.groups(shape);
     const std::size_t lanes = mapping.pesPerGroup(shape);
     const std::size_t cb = shape.cb;
+
+    // Flight-recorder span + registry counters for this execution. One
+    // registry lookup per call (never per PE); PE-side increments go
+    // through cached lock-free counters.
+    obs::TraceSpan span("lut.runDistributedLut");
+    span.attr("n", static_cast<std::uint64_t>(shape.n));
+    span.attr("f", static_cast<std::uint64_t>(shape.f));
+    span.attr("cb", static_cast<std::uint64_t>(cb));
+    span.attr("pes", static_cast<std::uint64_t>(result.pes_used));
+    span.attr("model_s", result.cost.total());
+
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    static obs::Counter &runs = reg.counter("lut.runs");
+    static obs::Counter &pe_kernels = reg.counter("lut.pe_kernels");
+    static obs::Counter &link_bytes = reg.counter("lut.link_bytes");
+    static obs::Counter &stream_bytes = reg.counter("lut.pe_stream_bytes");
+    static obs::Counter &cycles = reg.counter("lut.model_cycles");
+    static obs::Histogram &model_latency =
+        reg.histogram("lut.model_latency_s");
+
+    runs.add();
+    pe_kernels.add(groups * lanes);
+    link_bytes.add(static_cast<std::uint64_t>(result.cost.link_bytes));
+    stream_bytes.add(static_cast<std::uint64_t>(
+        result.cost.pe_stream_bytes * static_cast<double>(result.pes_used)));
+    // Modeled PE cycles: lock-step PEs each spend total() seconds at the
+    // platform clock.
+    cycles.add(static_cast<std::uint64_t>(result.cost.microKernelTotal() *
+                                          platform.pe_freq_hz));
+    model_latency.record(result.cost.total());
 
     result.output = Tensor(shape.n, shape.f);
     Tensor &out = result.output;

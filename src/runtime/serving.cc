@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pimdl {
 
@@ -39,6 +41,19 @@ ServingSimulator::simulate(const ServingConfig &config) const
     PIMDL_REQUIRE(config.arrival_rate > 0.0 && config.horizon_s > 0.0,
                   "serving config must have positive rate and horizon");
     PIMDL_REQUIRE(config.max_batch > 0, "max_batch must be positive");
+
+    obs::TraceSpan span("serving.simulate");
+    span.attr("arrival_rate", config.arrival_rate);
+    span.attr("max_batch", static_cast<std::uint64_t>(config.max_batch));
+    span.attr("horizon_s", config.horizon_s);
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    static obs::Counter &c_requests = reg.counter("serving.requests");
+    static obs::Counter &c_batches = reg.counter("serving.batches");
+    static obs::Histogram &h_latency =
+        reg.histogram("serving.request_latency_s");
+    static obs::Histogram &h_batch = reg.histogram("serving.batch_size");
+    static obs::Histogram &h_queue = reg.histogram("serving.queue_depth");
+    static obs::Gauge &g_util = reg.gauge("serving.utilization");
 
     // Generate Poisson arrivals across the horizon.
     Rng rng(config.seed);
@@ -101,8 +116,10 @@ ServingSimulator::simulate(const ServingConfig &config) const
             continue;
         }
 
+        h_queue.record(static_cast<double>(queue.size()));
         const std::size_t batch =
             std::min<std::size_t>(queue.size(), config.max_batch);
+        h_batch.record(static_cast<double>(batch));
         std::size_t shape_batch = batch;
         if (config.pow2_buckets) {
             std::size_t padded = 1;
@@ -114,6 +131,7 @@ ServingSimulator::simulate(const ServingConfig &config) const
         const double done = now + service;
         for (std::size_t i = 0; i < batch; ++i) {
             latencies.push_back(done - queue.front());
+            h_latency.record(done - queue.front());
             queue.pop_front();
         }
         busy += service;
@@ -142,6 +160,12 @@ ServingSimulator::simulate(const ServingConfig &config) const
     stats.p95_latency_s = percentile(0.95);
     stats.p99_latency_s = percentile(0.99);
     stats.utilization = busy / std::max(now, 1e-9);
+
+    c_requests.add(stats.requests);
+    c_batches.add(stats.batches);
+    g_util.set(stats.utilization);
+    span.attr("requests", static_cast<std::uint64_t>(stats.requests));
+    span.attr("p99_s", stats.p99_latency_s);
     return stats;
 }
 

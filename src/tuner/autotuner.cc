@@ -1,6 +1,10 @@
 #include "autotuner.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pimdl {
 
@@ -97,12 +101,15 @@ AutoTuner::kernelSearch(const LutWorkloadShape &shape, std::size_t ns_tile,
     const auto fm_candidates = tileCandidates(fs_tile);
     const auto cbm_candidates = tileCandidates(shape.cb);
 
+    std::size_t pruned = 0;
     auto consider = [&](const LutMapping &mapping) {
         const LutCostBreakdown cost =
             evaluateLutMapping(platform_, shape, mapping);
         ++best.evaluated;
-        if (!cost.legal)
+        if (!cost.legal) {
+            ++pruned;
             return;
+        }
         if (!best.found || cost.total() < best.cost.total()) {
             best.found = true;
             best.mapping = mapping;
@@ -154,12 +161,31 @@ AutoTuner::kernelSearch(const LutWorkloadShape &shape, std::size_t ns_tile,
             }
         }
     }
+
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    static obs::Counter &evaluated =
+        reg.counter("tuner.mappings_evaluated");
+    static obs::Counter &pruned_total =
+        reg.counter("tuner.mappings_pruned");
+    evaluated.add(best.evaluated);
+    pruned_total.add(pruned);
     return best;
 }
 
 AutoTuneResult
 AutoTuner::tune(const LutWorkloadShape &shape) const
 {
+    obs::TraceSpan span("tuner.tune");
+    span.attr("n", static_cast<std::uint64_t>(shape.n));
+    span.attr("cb", static_cast<std::uint64_t>(shape.cb));
+    span.attr("ct", static_cast<std::uint64_t>(shape.ct));
+    span.attr("f", static_cast<std::uint64_t>(shape.f));
+    const auto wall_start = std::chrono::steady_clock::now();
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    static obs::Counter &searches = reg.counter("tuner.searches");
+    static obs::Histogram &wall_hist =
+        reg.histogram("tuner.search_wall_s");
+    searches.add();
     auto search = [&](bool full_pe) {
         AutoTuneResult best;
         for (const auto &[ns, fs] : legalSubLutTilings(shape)) {
@@ -185,8 +211,16 @@ AutoTuner::tune(const LutWorkloadShape &shape) const
     if (!best.found && !options_.require_full_pe_use) {
         AutoTuneResult relaxed = search(false);
         relaxed.evaluated += best.evaluated;
-        return relaxed;
+        best = relaxed;
     }
+
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    wall_hist.record(wall_s);
+    span.attr("evaluated", static_cast<std::uint64_t>(best.evaluated));
+    span.attr("found", best.found ? "true" : "false");
     return best;
 }
 
