@@ -61,10 +61,16 @@ main(int argc, char **argv)
             estimateHostInference(cpu, model, HostDtype::Fp32);
         const InferenceEstimate int8 =
             estimateHostInference(cpu, model, HostDtype::Int8);
-        const InferenceEstimate pim_gemm =
-            engine.estimatePimGemm(model, HostDtype::Int8);
-        const InferenceEstimate pd_v2 = engine.estimatePimDl(model, v2);
-        const InferenceEstimate pd_v4 = engine.estimatePimDl(model, v4);
+        // All PIM estimates route through the plan IR: lower the model
+        // under a mode, cost the nodes, schedule sequentially.
+        const Scheduler &sched =
+            schedulerFor(SchedulePolicy::Sequential);
+        const InferenceEstimate pim_gemm = engine.estimate(
+            model, {}, ExecutionMode::PimGemm, sched, HostDtype::Int8);
+        const InferenceEstimate pd_v2 =
+            engine.estimate(model, v2, ExecutionMode::PimDl, sched);
+        const InferenceEstimate pd_v4 =
+            engine.estimate(model, v4, ExecutionMode::PimDl, sched);
 
         for (const Entry &e : std::vector<Entry>{
                  {"CPU FP32", fp32},
@@ -178,7 +184,8 @@ main(int argc, char **argv)
         // is stable and the latency percentiles are meaningful.
         const double capacity =
             static_cast<double>(serving.max_batch) /
-            sim.batchLatency(serving.max_batch, false);
+            sim.batchLatency(serving.max_batch,
+                             SchedulePolicy::Sequential);
         serving.arrival_rate = 0.6 * capacity;
         serving.max_wait_s = 0.25;
         serving.horizon_s = opts.smoke ? 20.0 : 60.0;

@@ -26,6 +26,10 @@ main(int argc, char **argv)
     const HostModel cpu_int8(xeonGold5218Dual());
     const LutNnParams v4{4, 16};
 
+    // Estimates go through the plan pipeline explicitly: lower once,
+    // cost the nodes, hand the costed plan to a scheduler.
+    const Scheduler &sched = schedulerFor(SchedulePolicy::Sequential);
+
     printBanner(std::cout,
                 "Figure 11-(a): PIM-DL inference latency breakdown "
                 "(V=4/CT=16)");
@@ -33,7 +37,8 @@ main(int argc, char **argv)
                             "LUT-NN (LUT+CCS) %"});
     for (const TransformerConfig &model :
          {bertBase(), bertLarge(), vitHuge()}) {
-        const InferenceEstimate est = engine.estimatePimDl(model, v4);
+        const InferenceEstimate est =
+            engine.estimate(model, v4, ExecutionMode::PimDl, sched);
         const double other = est.attention_s + est.other_s;
         breakdown.addRow({
             model.name,
@@ -62,7 +67,8 @@ main(int argc, char **argv)
     std::vector<InferenceEstimate> estimates;
     estimates.reserve(models.size());
     for (const auto &model : models)
-        estimates.push_back(engine.estimatePimDl(model, v4));
+        estimates.push_back(
+            engine.estimate(model, v4, ExecutionMode::PimDl, sched));
 
     for (std::size_t role = 0; role < 4; ++role) {
         std::vector<std::string> cells{names[role]};

@@ -19,6 +19,7 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "runtime/engine.h"
 #include "tuner/autotuner.h"
 #include "tuner/simulator.h"
 
@@ -248,6 +249,44 @@ main(int argc, char **argv)
                              sim_best, 2)
                   << "% degradation (paper: <= 6%)\n";
     }
+    // --- Scheduler policies over one costed plan. ----------------------
+    // The mapping space decides per-operator cost; the scheduler decides
+    // how much of it overlaps end-to-end. Lower and cost BERT-large once,
+    // then replay the identical costed plan through each policy.
+    printBanner(std::cout,
+                "Scheduler policies over the lowered plan (BERT-large)");
+    {
+        PimDlEngine engine(platform, xeon4210Dual());
+        const Plan plan = engine.lower(bertLarge(), LutNnParams{4, 16},
+                                       ExecutionMode::PimDl);
+        const CostedPlan costed = engine.cost(plan);
+        const double seq_total =
+            schedulerFor(SchedulePolicy::Sequential)
+                .schedule(costed)
+                .estimate.total_s;
+
+        TablePrinter policies(
+            {"Scheduler", "Total (s)", "Speedup vs sequential"});
+        for (SchedulePolicy policy :
+             {SchedulePolicy::Sequential, SchedulePolicy::Pipelined,
+              SchedulePolicy::Overlap}) {
+            const ScheduleResult result =
+                schedulerFor(policy).schedule(costed);
+            policies.addRow({
+                schedulePolicyName(policy),
+                TablePrinter::fmt(result.estimate.total_s, 2),
+                TablePrinter::fmtRatio(seq_total /
+                                       result.estimate.total_s),
+            });
+        }
+        policies.print(std::cout);
+        std::cout << "plan: " << plan.nodes.size()
+                  << " nodes (" << plan.count(PlanOpKind::LutOp)
+                  << " LUT ops, " << plan.count(PlanOpKind::Ccs)
+                  << " CCS ops) over "
+                  << executionModeName(plan.mode) << " lowering\n";
+    }
+
     pimdl::bench::writeBenchArtifacts(opts);
     return 0;
 }

@@ -51,7 +51,7 @@ main(int argc, char **argv)
         cfg.max_batch = 64;
         cfg.max_wait_s = 0.25;
         cfg.horizon_s = 600.0;
-        cfg.pipelined = true;
+        cfg.policy = SchedulePolicy::Pipelined;
         const ServingStats stats = sim.simulate(cfg);
         table.addRow({
             TablePrinter::fmt(rate, 0),

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Result types of scheduling a costed plan: the per-role latency detail
+ * (Figure 11-(b)) and the end-to-end inference estimate (Figures 10/11).
+ * These used to live in runtime/engine.h; they moved next to the plan IR
+ * because every scheduler produces them from per-node accounting.
+ */
+
+#ifndef PIMDL_PLAN_ESTIMATE_H
+#define PIMDL_PLAN_ESTIMATE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/model_config.h"
+#include "pim/energy.h"
+#include "tuner/mapping.h"
+
+namespace pimdl {
+
+/** Per-linear-role latency record (Figure 11-(b)). */
+struct LinearLatency
+{
+    LinearRole role;
+    /** CCS (host) seconds per model forward. */
+    double ccs_s = 0.0;
+    /** LUT operator (PIM) seconds per model forward. */
+    double lut_s = 0.0;
+    /** The mapping the tuner chose. */
+    LutMapping mapping;
+
+    double total() const { return ccs_s + lut_s; }
+};
+
+/** End-to-end estimate of one inference configuration. */
+struct InferenceEstimate
+{
+    std::string label;
+    double total_s = 0.0;
+
+    // Component breakdown (Figure 11-(a)).
+    double ccs_s = 0.0;
+    double lut_s = 0.0;
+    double linear_s = 0.0; ///< GEMM time when linears are not LUT-ized.
+    double attention_s = 0.0;
+    double other_s = 0.0;
+
+    // Resource-occupancy view for energy accounting.
+    double pim_busy_s = 0.0;
+    double host_busy_s = 0.0;
+    double link_bytes = 0.0;
+
+    EnergyReport energy;
+
+    /** Per-role detail (PIM-DL runs only). */
+    std::vector<LinearLatency> per_linear;
+
+    /** Inferences per second for the config's batch. */
+    double
+    throughput(std::size_t batch) const
+    {
+        return static_cast<double>(batch) / total_s;
+    }
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_PLAN_ESTIMATE_H

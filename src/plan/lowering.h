@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lowering pass: TransformerConfig -> device-annotated operator graph.
+ *
+ * Encodes the paper's operator split (Section 4.3) exactly once. In
+ * PIM-DL mode every linear lowers to CCS (host) -> index upload (link)
+ * -> LUT reduce (PIM) -> output gather (link); attention stays on the
+ * host and elementwise work goes wherever the platform supports it
+ * (Figure 6-(b)). PIM-GEMM mode lowers linears to PIM-offloaded GEMMs
+ * with activation/result transfers; host-only mode keeps everything on
+ * the host. The mapping-attachment passes bind tuned (or overridden)
+ * hardware mappings to LutOp nodes before costing.
+ */
+
+#ifndef PIMDL_PLAN_LOWERING_H
+#define PIMDL_PLAN_LOWERING_H
+
+#include "pim/platform.h"
+#include "plan/plan.h"
+#include "tuner/tune_memo.h"
+
+namespace pimdl {
+
+/** Platform/dtype context the lowering needs beyond the model. */
+struct LoweringOptions
+{
+    /**
+     * Target DRAM-PIM platform: decides LUT output dtype, LUT residency
+     * (transfer payloads), and elementwise offload. May be null for
+     * host-only lowering or purely structural (functional) walks.
+     */
+    const PimPlatformConfig *platform = nullptr;
+    /** Dtype of dense linears (PimGemm / HostOnly modes). */
+    HostDtype dtype = HostDtype::Fp32;
+};
+
+/**
+ * Lowers one forward pass of @p model under @p mode into a plan whose
+ * nodes are in topological order. Layers are lowered explicitly (node
+ * costs are per layer, not pre-multiplied), so schedulers see the real
+ * dependency chain.
+ */
+Plan lowerTransformer(const TransformerConfig &model,
+                      const LutNnParams &params, ExecutionMode mode,
+                      const LoweringOptions &options = {});
+
+/**
+ * Attaches the memoized auto-tuner's mapping to every LutOp node.
+ * Throws when the tuner finds no legal mapping for a node's shape.
+ */
+void attachTunedMappings(Plan &plan, const TuneMemo &memo);
+
+/**
+ * Attaches one explicit mapping override to every LutOp node
+ * (mapping-space sweeps, Figure 13). Legality is checked when the plan
+ * is costed, where the workload shape is evaluated.
+ */
+void attachMappingOverride(Plan &plan, const LutMapping &mapping);
+
+} // namespace pimdl
+
+#endif // PIMDL_PLAN_LOWERING_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Pluggable schedulers: turn a costed plan into an InferenceEstimate.
+ *
+ * The scheduler contract: per-node accounting (component buckets,
+ * device busy time, link traffic, per-role detail) is identical across
+ * schedulers — only `total_s` (and the step decomposition) differs,
+ * because a schedule decides how much node latency overlaps.
+ *
+ *  - SequentialScheduler: the paper's execution model; nodes run one
+ *    after another, total = sum of node costs.
+ *  - PipelinedScheduler: double-buffered CCS/LUT overlap — the host's
+ *    CCS work hides behind the PIM's LUT reductions (double-buffered
+ *    index matrices), so the LUT-NN window costs max(host CCS, PIM LUT)
+ *    while attention/elementwise/dense work stays on the critical path.
+ *  - OverlapScheduler: greedy list-schedule of several in-flight
+ *    forwards (waves) over the two device resources; steady-state cost
+ *    is the makespan amortized per forward. Generalizes pipelining to
+ *    arbitrary plan DAGs and is the hook for future heterogeneous
+ *    scheduling.
+ */
+
+#ifndef PIMDL_PLAN_SCHEDULE_H
+#define PIMDL_PLAN_SCHEDULE_H
+
+#include "plan/estimate.h"
+#include "plan/plan.h"
+
+namespace pimdl {
+
+/** Stable identifier of the built-in scheduling policies. */
+enum class SchedulePolicy
+{
+    Sequential,
+    Pipelined,
+    Overlap,
+};
+
+/** Human-readable policy name. */
+const char *schedulePolicyName(SchedulePolicy policy);
+
+/** Latency/traffic cost of one plan node. */
+struct NodeCost
+{
+    double seconds = 0.0;
+    /** Unique host<->PIM bytes this node moves (transfer nodes). */
+    double link_bytes = 0.0;
+};
+
+/** A plan plus per-node costs (parallel arrays, indexed by node id). */
+struct CostedPlan
+{
+    Plan plan;
+    std::vector<NodeCost> costs;
+};
+
+/**
+ * One wall-clock step of a schedule: host and PIM work that ran inside
+ * the step's window. Every step satisfies
+ *   max(host_s, pim_s) <= total_s <= host_s + pim_s,
+ * and the steps' totals sum to the estimate's total.
+ */
+struct ScheduleStep
+{
+    double host_s = 0.0;
+    double pim_s = 0.0;
+    double total_s = 0.0;
+};
+
+/** Outcome of scheduling: the estimate plus step decomposition. */
+struct ScheduleResult
+{
+    /** Estimate with every field filled except label and energy. */
+    InferenceEstimate estimate;
+    /** Wall-clock decomposition (empty for the overlap scheduler). */
+    std::vector<ScheduleStep> steps;
+};
+
+/** Scheduling policy over a costed plan. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+    virtual const char *name() const = 0;
+    virtual SchedulePolicy policy() const = 0;
+    virtual ScheduleResult schedule(const CostedPlan &costed) const = 0;
+};
+
+/** Nodes run back-to-back: total = sum of node costs. */
+class SequentialScheduler final : public Scheduler
+{
+  public:
+    const char *name() const override { return "sequential"; }
+    SchedulePolicy policy() const override
+    {
+        return SchedulePolicy::Sequential;
+    }
+    ScheduleResult schedule(const CostedPlan &costed) const override;
+};
+
+/** Double-buffered CCS/LUT overlap; everything else serial. */
+class PipelinedScheduler final : public Scheduler
+{
+  public:
+    const char *name() const override { return "pipelined"; }
+    SchedulePolicy policy() const override
+    {
+        return SchedulePolicy::Pipelined;
+    }
+    ScheduleResult schedule(const CostedPlan &costed) const override;
+};
+
+/**
+ * Greedy list-schedule of @p waves concurrent forwards over the Host
+ * and PIM resources (link transfers are free — their latency is
+ * internal to the producing op's analytical cost). Reported total is
+ * the makespan divided by the wave count: the steady-state per-forward
+ * cost of a saturated serving pipeline.
+ */
+class OverlapScheduler final : public Scheduler
+{
+  public:
+    explicit OverlapScheduler(std::size_t waves = 2);
+
+    const char *name() const override { return "overlap"; }
+    SchedulePolicy policy() const override
+    {
+        return SchedulePolicy::Overlap;
+    }
+    ScheduleResult schedule(const CostedPlan &costed) const override;
+
+    std::size_t waves() const { return waves_; }
+
+  private:
+    std::size_t waves_;
+};
+
+/** Shared immutable scheduler instance for a built-in policy. */
+const Scheduler &schedulerFor(SchedulePolicy policy);
+
+} // namespace pimdl
+
+#endif // PIMDL_PLAN_SCHEDULE_H

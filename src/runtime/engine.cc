@@ -1,136 +1,70 @@
 #include "engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tuner/cost_model.h"
 
 namespace pimdl {
 
 PimDlEngine::PimDlEngine(PimPlatformConfig platform,
                          HostProcessorConfig host)
     : platform_(platform), host_(std::move(host)),
-      tuner_(std::move(platform))
+      tuner_(std::move(platform)), tune_memo_(tuner_)
 {}
 
 namespace {
 
-/** Elementwise host work of one encoder layer (residuals, LN, GELU). */
-void
-elementwiseProfile(const TransformerConfig &model, double &ops,
-                   double &bytes)
+/** Display name of a host dtype for estimate labels. */
+const char *
+hostDtypeLabel(HostDtype dtype)
 {
-    const double tokens = static_cast<double>(model.tokens());
-    const double hidden = static_cast<double>(model.hidden_dim);
-    const double ffn = static_cast<double>(model.ffn_dim);
-    // Two residual adds + two layernorms over hidden, one GELU over ffn.
-    ops = tokens * hidden * (2.0 + 2.0 * 8.0) + tokens * ffn * 10.0;
-    bytes = (tokens * hidden * 6.0 + tokens * ffn * 2.0) * 4.0;
-}
-
-} // namespace
-
-void
-PimDlEngine::addHostSideOps(const TransformerConfig &model,
-                            InferenceEstimate &est, HostDtype dtype) const
-{
-    const double attn = host_.attentionSeconds(model.batch, model.seq_len,
-                                               model.hidden_dim, dtype) *
-                        static_cast<double>(model.layers);
-    double ew_ops = 0.0;
-    double ew_bytes = 0.0;
-    elementwiseProfile(model, ew_ops, ew_bytes);
-
-    double other = 0.0;
-    if (platform_.supports_elementwise) {
-        // Offload elementwise operators to the PIM units: they are
-        // bandwidth-bound and the banks have far more bandwidth than
-        // the host link (paper Figure 6-(b) offloading choice).
-        other = std::max(ew_ops / platform_.totalAddThroughput(),
-                         ew_bytes / platform_.totalStreamBandwidth()) *
-                static_cast<double>(model.layers);
-        est.pim_busy_s += other;
-    } else {
-        other = host_.elementwiseSeconds(ew_ops, ew_bytes) *
-                static_cast<double>(model.layers);
-        est.host_busy_s += other;
+    switch (dtype) {
+    case HostDtype::Fp32:
+        return "FP32";
+    case HostDtype::Int8:
+        return "INT8";
+    case HostDtype::Fp16:
+        return "FP16";
     }
-
-    est.attention_s += attn;
-    est.other_s += other;
-    est.host_busy_s += attn;
-    est.total_s += attn + other;
+    return "?";
 }
 
-InferenceEstimate
-PimDlEngine::estimatePimDlImpl(const TransformerConfig &model,
-                               const LutNnParams &params,
-                               const LutMapping *override_mapping) const
+/** Roofline latency of a host-device plan node. */
+double
+hostNodeSeconds(const HostModel &hm, const Plan &plan,
+                const PlanNode &node)
 {
-    InferenceEstimate est;
-    est.label = "PIM-DL(V=" + std::to_string(params.subvec_len) +
-                ",CT=" + std::to_string(params.centroids) + ")@" +
-                platform_.name;
+    switch (node.kind) {
+    case PlanOpKind::Ccs:
+        return hm.ccsSeconds(node.n, node.h, plan.params.centroids,
+                             plan.params.subvec_len);
+    case PlanOpKind::Gemm:
+        return hm.gemmSeconds(node.n, node.h, node.f, node.dtype);
+    case PlanOpKind::Attention:
+        return hm.attentionSeconds(node.n, node.h, node.f, node.dtype);
+    case PlanOpKind::Elementwise:
+        return hm.elementwiseSeconds(node.ew_ops, node.ew_bytes);
+    default:
+        return 0.0;
+    }
+}
 
-    obs::TraceSpan span("engine.estimatePimDl");
-    span.attr("model", model.name);
-    span.attr("batch", static_cast<std::uint64_t>(model.batch));
-    span.attr("platform", platform_.name);
+/** Publishes the metrics the seed engine exported for PIM-DL runs. */
+void
+publishPimDlMetrics(const InferenceEstimate &est)
+{
     obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
-
-    for (const LinearWorkload &w : model.linearWorkloads()) {
-        LutWorkloadShape shape;
-        shape.n = w.n;
-        shape.cb = w.h / params.subvec_len;
-        shape.ct = params.centroids;
-        shape.f = w.f;
-        // PEs requantize outputs to the platform's LUT dtype before the
-        // host fetches them (the next layer's CCS re-quantizes anyway),
-        // so the gather moves lut_dtype-wide elements, not INT32.
-        shape.output_dtype_bytes = platform_.lut_dtype_bytes;
-
-        LinearLatency layer;
-        layer.role = w.role;
-
-        LutCostBreakdown cost;
-        if (override_mapping) {
-            cost = evaluateLutMapping(platform_, shape, *override_mapping);
-            PIMDL_REQUIRE(cost.legal,
-                          "override mapping illegal for workload " +
-                              std::string(linearRoleName(w.role)) + ": " +
-                              cost.illegal_reason);
-            layer.mapping = *override_mapping;
-        } else {
-            const AutoTuneResult &tuned = tuneCached(shape);
-            PIMDL_REQUIRE(tuned.found, "auto-tuner found no legal mapping");
-            cost = tuned.cost;
-            layer.mapping = tuned.mapping;
-        }
-
-        layer.lut_s = cost.total() * static_cast<double>(model.layers);
-        layer.ccs_s = host_.ccsSeconds(w.n, w.h, params.centroids,
-                                       params.subvec_len) *
-                      static_cast<double>(model.layers);
-
-        est.lut_s += layer.lut_s;
-        est.ccs_s += layer.ccs_s;
-        est.pim_busy_s += layer.lut_s;
-        est.host_busy_s += layer.ccs_s;
-        est.link_bytes +=
-            cost.link_bytes * static_cast<double>(model.layers);
-        est.total_s += layer.lut_s + layer.ccs_s;
-        est.per_linear.push_back(layer);
-
-        // Per-LinearRole CCS/LUT split (the Figure 11-(b) breakdown),
-        // published as gauges holding the most recent estimate.
-        const std::string role = linearRoleName(w.role);
+    // Per-LinearRole CCS/LUT split (the Figure 11-(b) breakdown),
+    // published as gauges holding the most recent estimate.
+    for (const LinearLatency &layer : est.per_linear) {
+        const std::string role = linearRoleName(layer.role);
         reg.gauge("engine.role." + role + ".ccs_s").set(layer.ccs_s);
         reg.gauge("engine.role." + role + ".lut_s").set(layer.lut_s);
     }
-
-    addHostSideOps(model, est, HostDtype::Fp32);
-
     static obs::Counter &estimates = reg.counter("engine.estimates");
     static obs::Histogram &h_ccs = reg.histogram("engine.ccs_s");
     static obs::Histogram &h_lut = reg.histogram("engine.lut_s");
@@ -139,33 +73,164 @@ PimDlEngine::estimatePimDlImpl(const TransformerConfig &model,
     h_ccs.record(est.ccs_s);
     h_lut.record(est.lut_s);
     h_total.record(est.total_s);
-    span.attr("total_s", est.total_s);
-
-    const EnergyModel energy_model(platform_);
-    // PIM-DIMMs stay powered for the whole inference (no DVFS), so PIM
-    // energy integrates static power over total wall time.
-    est.energy = energy_model.energy(est.total_s, est.host_busy_s,
-                                     est.link_bytes);
-    return est;
 }
 
-const AutoTuneResult &
-PimDlEngine::tuneCached(const LutWorkloadShape &shape) const
+} // namespace
+
+Plan
+PimDlEngine::lower(const TransformerConfig &model,
+                   const LutNnParams &params, ExecutionMode mode,
+                   HostDtype dtype,
+                   const LutMapping *mapping_override) const
 {
-    const std::array<std::size_t, 5> key{
-        shape.n, shape.cb, shape.ct, shape.f,
-        static_cast<std::size_t>(shape.output_dtype_bytes)};
-    const auto it = tune_cache_.find(key);
-    if (it != tune_cache_.end())
-        return it->second;
-    return tune_cache_.emplace(key, tuner_.tune(shape)).first->second;
+    obs::TraceSpan span("plan.lower");
+    span.attr("model", model.name);
+    span.attr("mode", executionModeName(mode));
+
+    LoweringOptions options;
+    options.platform = &platform_;
+    options.dtype = dtype;
+    Plan plan = lowerTransformer(model, params, mode, options);
+    if (mode == ExecutionMode::PimDl) {
+        if (mapping_override)
+            attachMappingOverride(plan, *mapping_override);
+        else
+            attachTunedMappings(plan, tune_memo_);
+    }
+    span.attr("nodes", static_cast<std::uint64_t>(plan.nodes.size()));
+    return plan;
+}
+
+NodeCost
+PimDlEngine::costNode(const Plan &plan, const PlanNode &node) const
+{
+    NodeCost cost;
+    switch (node.kind) {
+    case PlanOpKind::LutOp: {
+        PIMDL_REQUIRE(node.mapping_attached,
+                      "LutOp node costed before a mapping was attached");
+        const LutCostBreakdown lut =
+            evaluateLutMapping(platform_, node.lut_shape, node.mapping);
+        PIMDL_REQUIRE(lut.legal,
+                      "mapping illegal for workload " +
+                          std::string(linearRoleName(node.role)) + ": " +
+                          lut.illegal_reason);
+        cost.seconds = lut.total();
+        break;
+    }
+    case PlanOpKind::Gemm:
+        if (node.device == PlanDevice::Pim) {
+            cost.seconds = pimGemmLinearSeconds(node.n, node.h, node.f,
+                                                node.dtype,
+                                                plan.model.batch) +
+                           platform_.kernel_launch_overhead_s;
+        } else {
+            cost.seconds = hostNodeSeconds(host_, plan, node);
+        }
+        break;
+    case PlanOpKind::Elementwise:
+        if (node.device == PlanDevice::Pim) {
+            // Bandwidth-bound elementwise work on the bank-level units
+            // (paper Figure 6-(b) offloading choice).
+            cost.seconds =
+                std::max(node.ew_ops / platform_.totalAddThroughput(),
+                         node.ew_bytes / platform_.totalStreamBandwidth());
+        } else {
+            cost.seconds = hostNodeSeconds(host_, plan, node);
+        }
+        break;
+    case PlanOpKind::HostPimTransfer:
+        // Transfer latency is folded into the producing op's analytical
+        // cost; transfer nodes carry the unique link-traffic accounting.
+        cost.link_bytes = node.transfer_bytes;
+        break;
+    case PlanOpKind::Ccs:
+    case PlanOpKind::Attention:
+        cost.seconds = hostNodeSeconds(host_, plan, node);
+        break;
+    }
+    return cost;
+}
+
+CostedPlan
+PimDlEngine::cost(const Plan &plan) const
+{
+    CostedPlan costed;
+    costed.plan = plan;
+    costed.costs.reserve(plan.nodes.size());
+    for (const PlanNode &node : plan.nodes)
+        costed.costs.push_back(costNode(plan, node));
+    return costed;
+}
+
+InferenceEstimate
+PimDlEngine::estimate(const TransformerConfig &model,
+                      const LutNnParams &params, ExecutionMode mode,
+                      const Scheduler &scheduler, HostDtype dtype,
+                      const LutMapping *mapping_override) const
+{
+    obs::TraceSpan top("engine.estimate");
+    top.attr("model", model.name);
+    top.attr("batch", static_cast<std::uint64_t>(model.batch));
+    top.attr("platform", platform_.name);
+    top.attr("mode", executionModeName(mode));
+    top.attr("scheduler", scheduler.name());
+
+    const Plan plan = lower(model, params, mode, dtype, mapping_override);
+    const CostedPlan costed = cost(plan);
+
+    ScheduleResult scheduled;
+    {
+        obs::TraceSpan span("plan.schedule");
+        span.attr("scheduler", scheduler.name());
+        span.attr("nodes",
+                  static_cast<std::uint64_t>(plan.nodes.size()));
+        scheduled = scheduler.schedule(costed);
+    }
+    obs::MetricsRegistry::instance()
+        .counter("plan.nodes_scheduled")
+        .add(plan.nodes.size());
+
+    InferenceEstimate est = std::move(scheduled.estimate);
+    switch (mode) {
+    case ExecutionMode::PimDl:
+        est.label = "PIM-DL(V=" + std::to_string(params.subvec_len) +
+                    ",CT=" + std::to_string(params.centroids) + ")@" +
+                    platform_.name;
+        break;
+    case ExecutionMode::PimGemm:
+        est.label = "PIM-GEMM@" + platform_.name;
+        break;
+    case ExecutionMode::HostOnly:
+        est.label = host_.config().name + "(" + hostDtypeLabel(dtype) +
+                    ")";
+        break;
+    }
+    if (scheduler.policy() != SchedulePolicy::Sequential)
+        est.label += std::string("+") + scheduler.name();
+
+    if (mode == ExecutionMode::HostOnly) {
+        est.energy.host_joules = host_.config().power_w * est.total_s;
+    } else {
+        // PIM-DIMMs stay powered for the whole inference (no DVFS), so
+        // PIM energy integrates static power over total wall time.
+        const EnergyModel energy_model(platform_);
+        est.energy = energy_model.energy(est.total_s, est.host_busy_s,
+                                         est.link_bytes);
+    }
+
+    if (mode == ExecutionMode::PimDl)
+        publishPimDlMetrics(est);
+    top.attr("total_s", est.total_s);
+    return est;
 }
 
 InferenceEstimate
 PimDlEngine::estimatePimDl(const TransformerConfig &model,
                            const LutNnParams &params) const
 {
-    return estimatePimDlImpl(model, params, nullptr);
+    return estimate(model, params, ExecutionMode::PimDl,
+                    schedulerFor(SchedulePolicy::Sequential));
 }
 
 InferenceEstimate
@@ -173,35 +238,42 @@ PimDlEngine::estimatePimDlWithMapping(const TransformerConfig &model,
                                       const LutNnParams &params,
                                       const LutMapping &mapping) const
 {
-    return estimatePimDlImpl(model, params, &mapping);
+    return estimate(model, params, ExecutionMode::PimDl,
+                    schedulerFor(SchedulePolicy::Sequential),
+                    HostDtype::Fp32, &mapping);
 }
 
 InferenceEstimate
 PimDlEngine::estimatePimDlPipelined(const TransformerConfig &model,
                                     const LutNnParams &params) const
 {
-    InferenceEstimate est = estimatePimDlImpl(model, params, nullptr);
-    est.label += "+pipelined";
+    return estimate(model, params, ExecutionMode::PimDl,
+                    schedulerFor(SchedulePolicy::Pipelined));
+}
 
-    // The host-side CCS of operator i+1 hides behind the PIM-side LUT
-    // reduction of operator i (double-buffered index matrices);
-    // attention and elementwise work stay on the critical path because
-    // they depend on the gathered outputs.
-    const double overlapped = std::max(est.ccs_s, est.lut_s);
-    est.total_s = overlapped + est.attention_s + est.other_s;
+InferenceEstimate
+PimDlEngine::estimatePimGemm(const TransformerConfig &model,
+                             HostDtype dtype) const
+{
+    return estimate(model, {}, ExecutionMode::PimGemm,
+                    schedulerFor(SchedulePolicy::Sequential), dtype);
+}
 
-    const EnergyModel energy_model(platform_);
-    est.energy = energy_model.energy(est.total_s, est.host_busy_s,
-                                     est.link_bytes);
-    return est;
+InferenceEstimate
+PimDlEngine::estimateHostOnly(const TransformerConfig &model,
+                              HostDtype dtype) const
+{
+    return estimate(model, {}, ExecutionMode::HostOnly,
+                    schedulerFor(SchedulePolicy::Sequential), dtype);
 }
 
 double
-PimDlEngine::pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
+PimDlEngine::pimGemmLinearSeconds(std::size_t n, std::size_t h,
+                                  std::size_t f, HostDtype dtype,
                                   std::size_t batch) const
 {
     const double elem = hostDtypeBytes(dtype);
-    const double ops = 2.0 * static_cast<double>(w.n) * w.h * w.f;
+    const double ops = 2.0 * static_cast<double>(n) * h * f;
     const double num_pes = static_cast<double>(platform_.num_pes);
 
     if (platform_.product == PimProduct::UpmemDimm) {
@@ -214,16 +286,16 @@ PimDlEngine::pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
 
         // Activation broadcast and result gather (eq. 4 pattern), with the
         // same group/lane partition as LUT operators.
-        const double act_bytes = static_cast<double>(w.n) * w.h * elem;
-        const double out_bytes = static_cast<double>(w.n) * w.f * 4.0;
+        const double act_bytes = static_cast<double>(n) * h * elem;
+        const double out_bytes = static_cast<double>(n) * f * 4.0;
         const double transfer =
             act_bytes / platform_.host_broadcast.peak * 8.0 +
             out_bytes / platform_.host_gather.peak;
 
         // Weights stream from MRAM once per activation row block.
-        const double weight_bytes_per_pe = static_cast<double>(w.h) * w.f *
+        const double weight_bytes_per_pe = static_cast<double>(h) * f *
                                            elem / num_pes *
-                                           (static_cast<double>(w.n) / 64.0);
+                                           (static_cast<double>(n) / 64.0);
         const double stream =
             weight_bytes_per_pe / platform_.pe_stream.peak;
         return std::max(compute, stream) + transfer;
@@ -236,7 +308,7 @@ PimDlEngine::pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
     // Section 6.7). The utilization curve below is a calibration
     // parameter documented in DESIGN.md.
     const double weight_stream_bytes =
-        static_cast<double>(w.n) * w.h * w.f * elem;
+        static_cast<double>(n) * h * f * elem;
     // The GEMV command stream keeps only a small slice of the banks
     // busy: wider matrices help, batching hurts, and AiM's GEMV engine
     // (purpose-built MAC-per-bank) sustains about twice HBM-PIM's
@@ -244,7 +316,7 @@ PimDlEngine::pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
     const double product_factor =
         platform_.product == PimProduct::Aim ? 2.0 : 1.0;
     const double shape_util =
-        std::min(1.0, (0.02 + static_cast<double>(w.h) / 80000.0) *
+        std::min(1.0, (0.02 + static_cast<double>(h) / 80000.0) *
                           product_factor);
     const double batch_penalty = 1.0 + 0.16 * static_cast<double>(batch);
     const double eff_bw =
@@ -252,44 +324,8 @@ PimDlEngine::pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
     const double stream = weight_stream_bytes / eff_bw;
     const double compute = ops / platform_.totalAddThroughput();
     const double cmd_overhead =
-        static_cast<double>(w.n) * platform_.kernel_launch_overhead_s;
+        static_cast<double>(n) * platform_.kernel_launch_overhead_s;
     return std::max(stream, compute) + cmd_overhead;
-}
-
-InferenceEstimate
-PimDlEngine::estimatePimGemm(const TransformerConfig &model,
-                             HostDtype dtype) const
-{
-    InferenceEstimate est;
-    est.label = "PIM-GEMM@" + platform_.name;
-
-    for (const LinearWorkload &w : model.linearWorkloads()) {
-        const double t =
-            (pimGemmLinearSeconds(w, dtype, model.batch) +
-             platform_.kernel_launch_overhead_s) *
-            static_cast<double>(model.layers);
-        est.linear_s += t;
-        est.pim_busy_s += t;
-        est.total_s += t;
-        est.link_bytes += (static_cast<double>(w.n) * w.h *
-                               hostDtypeBytes(dtype) +
-                           static_cast<double>(w.n) * w.f * 4.0) *
-                          static_cast<double>(model.layers);
-    }
-
-    addHostSideOps(model, est, HostDtype::Fp32);
-
-    const EnergyModel energy_model(platform_);
-    est.energy = energy_model.energy(est.total_s, est.host_busy_s,
-                                     est.link_bytes);
-    return est;
-}
-
-InferenceEstimate
-PimDlEngine::estimateHostOnly(const TransformerConfig &model,
-                              HostDtype dtype) const
-{
-    return estimateHostInference(host_.config(), model, dtype);
 }
 
 InferenceEstimate
@@ -297,42 +333,21 @@ estimateHostInference(const HostProcessorConfig &host,
                       const TransformerConfig &model, HostDtype dtype)
 {
     const HostModel hm(host);
-    InferenceEstimate est;
-    est.label = host.name + "(" +
-                (dtype == HostDtype::Fp32
-                     ? "FP32"
-                     : (dtype == HostDtype::Int8 ? "INT8" : "FP16")) +
-                ")";
+    LoweringOptions options;
+    options.dtype = dtype;
+    const Plan plan =
+        lowerTransformer(model, {}, ExecutionMode::HostOnly, options);
 
-    for (const LinearWorkload &w : model.linearWorkloads()) {
-        const double t = hm.gemmSeconds(w.n, w.h, w.f, dtype) *
-                         static_cast<double>(model.layers);
-        est.linear_s += t;
-        est.total_s += t;
-        est.host_busy_s += t;
-    }
+    CostedPlan costed;
+    costed.plan = plan;
+    costed.costs.reserve(plan.nodes.size());
+    for (const PlanNode &node : plan.nodes)
+        costed.costs.push_back({hostNodeSeconds(hm, plan, node), 0.0});
 
-    const double attn =
-        hm.attentionSeconds(model.batch, model.seq_len, model.hidden_dim,
-                            dtype) *
-        static_cast<double>(model.layers);
-    double ew_ops = 0.0;
-    double ew_bytes = 0.0;
-    {
-        const double tokens = static_cast<double>(model.tokens());
-        const double hidden = static_cast<double>(model.hidden_dim);
-        const double ffn = static_cast<double>(model.ffn_dim);
-        ew_ops = tokens * hidden * (2.0 + 2.0 * 8.0) + tokens * ffn * 10.0;
-        ew_bytes = (tokens * hidden * 6.0 + tokens * ffn * 2.0) * 4.0;
-    }
-    const double other = hm.elementwiseSeconds(ew_ops, ew_bytes) *
-                         static_cast<double>(model.layers);
-
-    est.attention_s = attn;
-    est.other_s = other;
-    est.total_s += attn + other;
-    est.host_busy_s += attn + other;
-
+    ScheduleResult scheduled =
+        schedulerFor(SchedulePolicy::Sequential).schedule(costed);
+    InferenceEstimate est = std::move(scheduled.estimate);
+    est.label = host.name + "(" + hostDtypeLabel(dtype) + ")";
     est.energy.host_joules = host.power_w * est.total_s;
     return est;
 }

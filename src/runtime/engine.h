@@ -7,77 +7,27 @@
  *     the "Latency PIM" baseline of Figure 10),
  *   - host-only CPU/GPU inference (Figures 10, 15).
  *
- * Latencies come from the tuner's analytical dataflow model for PIM ops
- * and from roofline host models for host ops — the same modelling split
- * the paper's auto-tuner uses.
+ * Every estimate flows through the same three stages: the model lowers
+ * to a device-annotated plan (plan/lowering.h) encoding the paper's
+ * operator split, the engine costs each node (the tuner's analytical
+ * dataflow model for PIM ops, roofline host models for host ops), and
+ * a pluggable scheduler (plan/schedule.h) turns the costed plan into an
+ * InferenceEstimate. The classic estimate* entry points are thin
+ * wrappers over (mode, scheduler) combinations.
  */
 
 #ifndef PIMDL_RUNTIME_ENGINE_H
 #define PIMDL_RUNTIME_ENGINE_H
 
-#include <array>
-#include <map>
-#include <string>
-#include <vector>
-
 #include "host/host_model.h"
 #include "nn/model_config.h"
-#include "pim/energy.h"
+#include "plan/estimate.h"
+#include "plan/lowering.h"
+#include "plan/schedule.h"
 #include "tuner/autotuner.h"
+#include "tuner/tune_memo.h"
 
 namespace pimdl {
-
-/** LUT-NN hyper-parameters for deployment. */
-struct LutNnParams
-{
-    std::size_t subvec_len = 4;
-    std::size_t centroids = 16;
-};
-
-/** Per-linear-role latency record (Figure 11-(b)). */
-struct LinearLatency
-{
-    LinearRole role;
-    /** CCS (host) seconds per model forward. */
-    double ccs_s = 0.0;
-    /** LUT operator (PIM) seconds per model forward. */
-    double lut_s = 0.0;
-    /** The mapping the tuner chose. */
-    LutMapping mapping;
-
-    double total() const { return ccs_s + lut_s; }
-};
-
-/** End-to-end estimate of one inference configuration. */
-struct InferenceEstimate
-{
-    std::string label;
-    double total_s = 0.0;
-
-    // Component breakdown (Figure 11-(a)).
-    double ccs_s = 0.0;
-    double lut_s = 0.0;
-    double linear_s = 0.0; ///< GEMM time when linears are not LUT-ized.
-    double attention_s = 0.0;
-    double other_s = 0.0;
-
-    // Resource-occupancy view for energy accounting.
-    double pim_busy_s = 0.0;
-    double host_busy_s = 0.0;
-    double link_bytes = 0.0;
-
-    EnergyReport energy;
-
-    /** Per-role detail (PIM-DL runs only). */
-    std::vector<LinearLatency> per_linear;
-
-    /** Inferences per second for the config's batch. */
-    double
-    throughput(std::size_t batch) const
-    {
-        return static_cast<double>(batch) / total_s;
-    }
-};
 
 /** Engine binding one DRAM-PIM platform to its host processor. */
 class PimDlEngine
@@ -87,6 +37,27 @@ class PimDlEngine
 
     const PimPlatformConfig &platform() const { return platform_; }
     const HostModel &host() const { return host_; }
+    /** Shared memoized auto-tuner (also used by functional execution). */
+    const TuneMemo &tuneMemo() const { return tune_memo_; }
+
+    /**
+     * Lowers @p model under @p mode and binds hardware mappings to the
+     * LUT operators (memoized auto-tuning, or @p mapping_override when
+     * given — mapping-space sweeps, Figure 13).
+     */
+    Plan lower(const TransformerConfig &model, const LutNnParams &params,
+               ExecutionMode mode, HostDtype dtype = HostDtype::Fp32,
+               const LutMapping *mapping_override = nullptr) const;
+
+    /** Costs every node of a lowered plan under this engine's models. */
+    CostedPlan cost(const Plan &plan) const;
+
+    /** Lower -> cost -> schedule -> label/energy, in one call. */
+    InferenceEstimate
+    estimate(const TransformerConfig &model, const LutNnParams &params,
+             ExecutionMode mode, const Scheduler &scheduler,
+             HostDtype dtype = HostDtype::Fp32,
+             const LutMapping *mapping_override = nullptr) const;
 
     /** PIM-DL execution: LUT linears on PIM, the rest on the host. */
     InferenceEstimate estimatePimDl(const TransformerConfig &model,
@@ -130,22 +101,13 @@ class PimDlEngine
      * and sweeps re-plan identical shapes constantly; the paper tunes
      * each model once offline (Section 5.3), so caching is faithful.
      */
-    mutable std::map<std::array<std::size_t, 5>, AutoTuneResult>
-        tune_cache_;
+    TuneMemo tune_memo_;
 
-    /** Tunes @p shape through the memoization cache. */
-    const AutoTuneResult &tuneCached(const LutWorkloadShape &shape) const;
+    /** Cost of one plan node under this engine's latency models. */
+    NodeCost costNode(const Plan &plan, const PlanNode &node) const;
 
-    InferenceEstimate
-    estimatePimDlImpl(const TransformerConfig &model,
-                      const LutNnParams &params,
-                      const LutMapping *override_mapping) const;
-
-    /** Host latency of attention + elementwise ops per forward. */
-    void addHostSideOps(const TransformerConfig &model,
-                        InferenceEstimate &est, HostDtype dtype) const;
-
-    double pimGemmLinearSeconds(const LinearWorkload &w, HostDtype dtype,
+    double pimGemmLinearSeconds(std::size_t n, std::size_t h,
+                                std::size_t f, HostDtype dtype,
                                 std::size_t batch) const;
 };
 

@@ -3,9 +3,11 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "plan/lowering.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tuner/autotuner.h"
+#include "tuner/tune_memo.h"
 
 namespace pimdl {
 
@@ -104,56 +106,40 @@ FunctionalTransformer::attention(const Tensor &q, const Tensor &k,
 }
 
 Tensor
-FunctionalTransformer::applyLinear(std::size_t layer, LinearRole role,
-                                   const Tensor &x,
-                                   LinearBackendKind backend) const
+FunctionalTransformer::denseLinear(std::size_t layer, LinearRole role,
+                                   const Tensor &x) const
 {
     const FunctionalBlockWeights &w = blocks_[layer];
-    if (backend == LinearBackendKind::Dense) {
-        switch (role) {
-          case LinearRole::QkvProjection:
-            return gemmBias(x, w.wqkv, w.bqkv);
-          case LinearRole::OutProjection:
-            return gemmBias(x, w.wo, w.bo);
-          case LinearRole::Ffn1:
-            return gemmBias(x, w.w1, w.b1);
-          case LinearRole::Ffn2:
-            return gemmBias(x, w.w2, w.b2);
-        }
+    switch (role) {
+      case LinearRole::QkvProjection:
+        return gemmBias(x, w.wqkv, w.bqkv);
+      case LinearRole::OutProjection:
+        return gemmBias(x, w.wo, w.bo);
+      case LinearRole::Ffn1:
+        return gemmBias(x, w.w1, w.b1);
+      case LinearRole::Ffn2:
+        return gemmBias(x, w.w2, w.b2);
     }
+    return gemmBias(x, w.wqkv, w.bqkv);
+}
 
+const LutLayer &
+FunctionalTransformer::lutFor(std::size_t layer, LinearRole role) const
+{
     PIMDL_REQUIRE(converted(),
                   "convertToLut must run before LUT backends");
     const FunctionalBlockLuts &luts = luts_[layer];
-    const LutLayer *lut = nullptr;
     switch (role) {
       case LinearRole::QkvProjection:
-        lut = &luts.qkv;
-        break;
+        return luts.qkv;
       case LinearRole::OutProjection:
-        lut = &luts.o;
-        break;
+        return luts.o;
       case LinearRole::Ffn1:
-        lut = &luts.ffn1;
-        break;
+        return luts.ffn1;
       case LinearRole::Ffn2:
-        lut = &luts.ffn2;
-        break;
+        return luts.ffn2;
     }
-
-    if (backend == LinearBackendKind::HostLut) {
-        // Host LUT inference uses the same INT8 tables the PIM deploys,
-        // so the PimLut backend is bit-comparable to it.
-        return lut->forwardQuantized(x);
-    }
-
-    PIMDL_REQUIRE(pim_planned_,
-                  "planPimExecution must run before the PimLut backend");
-    const IndexMatrix idx = lut->closestCentroidSearch(x);
-    const DistributedLutResult result = runDistributedLut(
-        platform_, *lut, idx, mappings_[layer][roleIndex(role)],
-        /*quantized=*/true);
-    return result.output;
+    return luts.qkv;
 }
 
 Tensor
@@ -162,28 +148,98 @@ FunctionalTransformer::forward(const Tensor &tokens, std::size_t seq_len,
 {
     PIMDL_REQUIRE(tokens.cols() == config_.hidden,
                   "token width must equal hidden dim");
+    PIMDL_REQUIRE(tokens.rows() % seq_len == 0,
+                  "token rows must be a multiple of seq_len");
+
+    // Lower the encoder to the same device-annotated plan the
+    // analytical engine costs; the walk below dispatches each node to
+    // a functional kernel. Dense execution is a host-only plan; both
+    // LUT backends follow the PIM-DL split.
+    TransformerConfig model;
+    model.name = "functional";
+    model.hidden_dim = config_.hidden;
+    model.ffn_dim = config_.ffn;
+    model.layers = config_.layers;
+    model.heads = config_.heads;
+    model.seq_len = seq_len;
+    model.batch = tokens.rows() / seq_len;
+
+    const LutNnParams params{config_.subvec_len, config_.centroids};
+    const ExecutionMode mode = backend == LinearBackendKind::Dense
+                                   ? ExecutionMode::HostOnly
+                                   : ExecutionMode::PimDl;
+    LoweringOptions options;
+    if (pim_planned_)
+        options.platform = &platform_;
+    const Plan plan = lowerTransformer(model, params, mode, options);
+
+    // Walker state: `x` is the residual stream, `cur` the most recent
+    // operator output, `idx` the pending CCS result for the PIM path.
     Tensor x = tokens;
-    for (std::size_t l = 0; l < config_.layers; ++l) {
-        const FunctionalBlockWeights &w = blocks_[l];
-
-        const Tensor qkv =
-            applyLinear(l, LinearRole::QkvProjection, x, backend);
-        const Tensor q = qkv.colSlice(0, config_.hidden);
-        const Tensor k =
-            qkv.colSlice(config_.hidden, 2 * config_.hidden);
-        const Tensor v =
-            qkv.colSlice(2 * config_.hidden, 3 * config_.hidden);
-
-        const Tensor ctx = attention(q, k, v, seq_len);
-        const Tensor attn_out =
-            applyLinear(l, LinearRole::OutProjection, ctx, backend);
-        x = layerNormRows(add(x, attn_out), w.ln1_gamma, w.ln1_beta);
-
-        const Tensor h =
-            gelu(applyLinear(l, LinearRole::Ffn1, x, backend));
-        const Tensor ffn_out =
-            applyLinear(l, LinearRole::Ffn2, h, backend);
-        x = layerNormRows(add(x, ffn_out), w.ln2_gamma, w.ln2_beta);
+    Tensor cur = tokens;
+    IndexMatrix idx;
+    for (const PlanNode &node : plan.nodes) {
+        switch (node.kind) {
+        case PlanOpKind::Gemm:
+            cur = denseLinear(node.layer, node.role, cur);
+            break;
+        case PlanOpKind::Ccs:
+            if (backend == LinearBackendKind::PimLut) {
+                PIMDL_REQUIRE(
+                    pim_planned_,
+                    "planPimExecution must run before the PimLut backend");
+                idx = lutFor(node.layer, node.role)
+                          .closestCentroidSearch(cur);
+            }
+            // The HostLut backend fuses CCS into forwardQuantized.
+            break;
+        case PlanOpKind::LutOp: {
+            const LutLayer &lut = lutFor(node.layer, node.role);
+            if (backend == LinearBackendKind::HostLut) {
+                // Host LUT inference uses the same INT8 tables the PIM
+                // deploys, so the PimLut backend is bit-comparable.
+                cur = lut.forwardQuantized(cur);
+            } else {
+                const DistributedLutResult result = runDistributedLut(
+                    platform_, lut, idx,
+                    mappings_[node.layer][roleIndex(node.role)],
+                    /*quantized=*/true);
+                cur = result.output;
+            }
+            break;
+        }
+        case PlanOpKind::Attention: {
+            const Tensor q = cur.colSlice(0, config_.hidden);
+            const Tensor k =
+                cur.colSlice(config_.hidden, 2 * config_.hidden);
+            const Tensor v =
+                cur.colSlice(2 * config_.hidden, 3 * config_.hidden);
+            cur = attention(q, k, v, seq_len);
+            break;
+        }
+        case PlanOpKind::Elementwise: {
+            const FunctionalBlockWeights &w = blocks_[node.layer];
+            switch (node.ew_kind) {
+            case ElementwiseOpKind::Gelu:
+                cur = gelu(cur);
+                break;
+            case ElementwiseOpKind::ResidualLn1:
+                x = layerNormRows(add(x, cur), w.ln1_gamma, w.ln1_beta);
+                cur = x;
+                break;
+            case ElementwiseOpKind::ResidualLn2:
+                x = layerNormRows(add(x, cur), w.ln2_gamma, w.ln2_beta);
+                cur = x;
+                break;
+            case ElementwiseOpKind::None:
+                break;
+            }
+            break;
+        }
+        case PlanOpKind::HostPimTransfer:
+            // Payload movement is implicit in the simulated executor.
+            break;
+        }
     }
     return x;
 }
@@ -210,24 +266,21 @@ FunctionalTransformer::convertToLut(const Tensor &calibration,
 
         luts_[l].qkv = convertLinearLayer(w.wqkv, w.bqkv, x, options);
         const Tensor qkv =
-            applyLinear(l, LinearRole::QkvProjection, x,
-                        LinearBackendKind::Dense);
+            denseLinear(l, LinearRole::QkvProjection, x);
         const Tensor ctx = attention(
             qkv.colSlice(0, config_.hidden),
             qkv.colSlice(config_.hidden, 2 * config_.hidden),
             qkv.colSlice(2 * config_.hidden, 3 * config_.hidden),
             seq_len);
         luts_[l].o = convertLinearLayer(w.wo, w.bo, ctx, options);
-        const Tensor attn_out = applyLinear(
-            l, LinearRole::OutProjection, ctx, LinearBackendKind::Dense);
+        const Tensor attn_out =
+            denseLinear(l, LinearRole::OutProjection, ctx);
         x = layerNormRows(add(x, attn_out), w.ln1_gamma, w.ln1_beta);
 
         luts_[l].ffn1 = convertLinearLayer(w.w1, w.b1, x, options);
-        const Tensor h = gelu(
-            applyLinear(l, LinearRole::Ffn1, x, LinearBackendKind::Dense));
+        const Tensor h = gelu(denseLinear(l, LinearRole::Ffn1, x));
         luts_[l].ffn2 = convertLinearLayer(w.w2, w.b2, h, options);
-        const Tensor ffn_out = applyLinear(
-            l, LinearRole::Ffn2, h, LinearBackendKind::Dense);
+        const Tensor ffn_out = denseLinear(l, LinearRole::Ffn2, h);
         x = layerNormRows(add(x, ffn_out), w.ln2_gamma, w.ln2_beta);
     }
 }
@@ -241,14 +294,18 @@ FunctionalTransformer::planPimExecution(const PimPlatformConfig &platform,
     mappings_.clear();
     mappings_.resize(config_.layers);
 
-    AutoTuner tuner(platform);
+    // Every block shares the same four workload shapes, so the memoized
+    // tuner searches each distinct shape once regardless of depth —
+    // the same TuneMemo component the analytical engine plans with.
+    const AutoTuner tuner(platform);
+    const TuneMemo memo(tuner);
     for (std::size_t l = 0; l < config_.layers; ++l) {
         const std::array<const LutLayer *, 4> layers{
             &luts_[l].qkv, &luts_[l].o, &luts_[l].ffn1, &luts_[l].ffn2};
         for (std::size_t i = 0; i < layers.size(); ++i) {
             LutWorkloadShape shape = lutShapeFor(*layers[i], rows);
             shape.output_dtype_bytes = platform.lut_dtype_bytes;
-            const AutoTuneResult tuned = tuner.tune(shape);
+            const AutoTuneResult &tuned = memo.tune(shape);
             PIMDL_REQUIRE(tuned.found,
                           "no legal mapping for functional PIM run");
             mappings_[l][i] = tuned.mapping;

@@ -76,6 +76,11 @@ class FunctionalTransformer
     /**
      * Runs the encoder over @p tokens ((batch*seq) x hidden) with the
      * given backend; @p seq_len partitions rows into attention groups.
+     *
+     * Execution walks the same lowered plan the analytical engine
+     * costs (plan/lowering.h): each plan node dispatches to the
+     * matching functional kernel, so the operator split exists in
+     * exactly one place.
      */
     Tensor forward(const Tensor &tokens, std::size_t seq_len,
                    LinearBackendKind backend) const;
@@ -109,8 +114,12 @@ class FunctionalTransformer
     bool pim_planned_ = false;
     std::vector<std::array<LutMapping, 4>> mappings_;
 
-    Tensor applyLinear(std::size_t layer, LinearRole role,
-                       const Tensor &x, LinearBackendKind backend) const;
+    /** Exact dense GEMM of one linear role. */
+    Tensor denseLinear(std::size_t layer, LinearRole role,
+                       const Tensor &x) const;
+
+    /** Converted LUT layer of one linear role. */
+    const LutLayer &lutFor(std::size_t layer, LinearRole role) const;
 
     Tensor attention(const Tensor &q, const Tensor &k, const Tensor &v,
                      std::size_t seq_len) const;

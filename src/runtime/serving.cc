@@ -18,21 +18,27 @@ ServingSimulator::ServingSimulator(const PimDlEngine &engine,
 {}
 
 double
-ServingSimulator::batchLatency(std::size_t batch, bool pipelined) const
+ServingSimulator::batchLatency(std::size_t batch,
+                               SchedulePolicy policy) const
 {
     PIMDL_REQUIRE(batch > 0, "batch must be positive");
-    const auto key = std::make_pair(batch, pipelined);
-    const auto it = latency_cache_.find(key);
-    if (it != latency_cache_.end())
-        return it->second;
+    const auto key = std::make_pair(batch, policy);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        const auto it = latency_cache_.find(key);
+        if (it != latency_cache_.end())
+            return it->second;
+    }
 
     TransformerConfig cfg = model_;
     cfg.batch = batch;
+    // Estimate outside the lock: distinct batch shapes plan in
+    // parallel, and the engine's own tune memo is thread-safe.
     const InferenceEstimate est =
-        pipelined ? engine_.estimatePimDlPipelined(cfg, params_)
-                  : engine_.estimatePimDl(cfg, params_);
-    latency_cache_.emplace(key, est.total_s);
-    return est.total_s;
+        engine_.estimate(cfg, params_, ExecutionMode::PimDl,
+                         schedulerFor(policy));
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return latency_cache_.emplace(key, est.total_s).first->second;
 }
 
 ServingStats
@@ -127,7 +133,7 @@ ServingSimulator::simulate(const ServingConfig &config) const
                 padded <<= 1;
             shape_batch = std::min(padded, config.max_batch);
         }
-        const double service = batchLatency(shape_batch, config.pipelined);
+        const double service = batchLatency(shape_batch, config.policy);
         const double done = now + service;
         for (std::size_t i = 0; i < batch; ++i) {
             latencies.push_back(done - queue.front());

@@ -14,6 +14,8 @@
 #ifndef PIMDL_RUNTIME_SERVING_H
 #define PIMDL_RUNTIME_SERVING_H
 
+#include <mutex>
+
 #include "runtime/engine.h"
 
 namespace pimdl {
@@ -29,8 +31,8 @@ struct ServingConfig
     double max_wait_s = 0.5;
     /** Simulated wall-clock span, seconds. */
     double horizon_s = 300.0;
-    /** Use the pipelined engine estimate (CCS/LUT overlap). */
-    bool pipelined = false;
+    /** Scheduler the engine estimates batches with (plan/schedule.h). */
+    SchedulePolicy policy = SchedulePolicy::Sequential;
     /**
      * Pad dispatched batches up to the next power of two (bounded by
      * max_batch): standard bucketing that bounds the number of distinct
@@ -71,15 +73,21 @@ class ServingSimulator
     /** Runs one simulation; deterministic for a fixed config. */
     ServingStats simulate(const ServingConfig &config) const;
 
-    /** Engine latency for a given batch size (memoized per instance). */
-    double batchLatency(std::size_t batch, bool pipelined) const;
+    /**
+     * Engine latency for a given batch size under a scheduling policy
+     * (memoized per instance; safe to call concurrently).
+     */
+    double batchLatency(std::size_t batch, SchedulePolicy policy) const;
 
   private:
     const PimDlEngine &engine_;
     TransformerConfig model_;
     LutNnParams params_;
-    /** Memoized per (batch, pipelined) latency. */
-    mutable std::map<std::pair<std::size_t, bool>, double> latency_cache_;
+    /** Guards latency_cache_ (sweeps probe batches in parallel). */
+    mutable std::mutex cache_mu_;
+    /** Memoized per (batch, policy) latency. */
+    mutable std::map<std::pair<std::size_t, SchedulePolicy>, double>
+        latency_cache_;
 };
 
 } // namespace pimdl

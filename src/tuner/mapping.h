@@ -68,6 +68,16 @@ struct LutWorkloadShape
     {
         return static_cast<double>(n) * cb * index_dtype_bytes;
     }
+
+    /**
+     * Shapes order/compare member-wise, so they can key memoization
+     * maps (TuneMemo) directly: adding a shape field extends the key
+     * automatically instead of silently aliasing cache entries.
+     */
+    friend auto operator<=>(const LutWorkloadShape &,
+                            const LutWorkloadShape &) = default;
+    friend bool operator==(const LutWorkloadShape &,
+                           const LutWorkloadShape &) = default;
 };
 
 /** A complete mapping of a LUT operator onto a DRAM-PIM platform. */

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Thread-safe memoization of auto-tuner searches, keyed by the full
+ * `LutWorkloadShape`. Serving loops, mapping sweeps, and per-layer
+ * lowering re-plan identical shapes constantly; the paper tunes each
+ * model once offline (Section 5.3), so caching the search is faithful.
+ * One memo is shared by every consumer that needs tuned mappings (the
+ * engine's plan costing and the functional transformer's PIM planning),
+ * replacing the per-consumer ad-hoc caches that re-tuned from scratch.
+ */
+
+#ifndef PIMDL_TUNER_TUNE_MEMO_H
+#define PIMDL_TUNER_TUNE_MEMO_H
+
+#include <map>
+#include <mutex>
+
+#include "tuner/autotuner.h"
+
+namespace pimdl {
+
+/** Memoizing, mutex-guarded front-end to one AutoTuner. */
+class TuneMemo
+{
+  public:
+    /** @p tuner must outlive the memo. */
+    explicit TuneMemo(const AutoTuner &tuner) : tuner_(tuner) {}
+
+    TuneMemo(const TuneMemo &) = delete;
+    TuneMemo &operator=(const TuneMemo &) = delete;
+
+    /**
+     * Tunes @p shape through the cache. Safe to call concurrently
+     * (parallelFor-driven sweeps); the returned reference stays valid
+     * for the memo's lifetime (map nodes are never erased).
+     */
+    const AutoTuneResult &
+    tune(const LutWorkloadShape &shape) const
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = cache_.find(shape);
+            if (it != cache_.end())
+                return it->second;
+        }
+        // Search outside the lock so concurrent misses on distinct
+        // shapes tune in parallel; duplicate work on the same shape is
+        // deterministic, and emplace keeps the first inserted result.
+        AutoTuneResult result = tuner_.tune(shape);
+        std::lock_guard<std::mutex> lock(mu_);
+        return cache_.emplace(shape, std::move(result)).first->second;
+    }
+
+    /** Number of distinct shapes tuned so far. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return cache_.size();
+    }
+
+    const AutoTuner &tuner() const { return tuner_; }
+
+  private:
+    const AutoTuner &tuner_;
+    mutable std::mutex mu_;
+    mutable std::map<LutWorkloadShape, AutoTuneResult> cache_;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_TUNER_TUNE_MEMO_H

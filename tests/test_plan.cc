@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Plan-IR tests: lowering structure, scheduler semantics, and — the
+ * load-bearing part — golden equivalence pinning the sequential
+ * schedule of the lowered graph to the pre-refactor engine estimates
+ * (captured from the hand-rolled estimate* implementations on the
+ * Table 2 models, UPMEM + dual Xeon 4210).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "runtime/engine.h"
+#include "tuner/tune_memo.h"
+
+namespace pimdl {
+namespace {
+
+/** Relative 1e-12 closeness; accumulation-order drift is ~1e-15. */
+void
+expectClose(double actual, double expected)
+{
+    EXPECT_NEAR(actual, expected, std::abs(expected) * 1e-12)
+        << "expected " << expected << ", got " << actual;
+}
+
+// ---------------------------------------------------------------------
+// Lowering structure.
+// ---------------------------------------------------------------------
+
+TEST(PlanLowering, PimDlNodeCountsAndTopology)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    LoweringOptions options;
+    options.platform = &platform;
+    const TransformerConfig model = bertBase();
+    const Plan plan = lowerTransformer(model, LutNnParams{4, 16},
+                                       ExecutionMode::PimDl, options);
+
+    // Per layer: 4 linears as CCS -> up -> LUT -> down, one attention,
+    // three elementwise ops (residual+LN x2, GELU).
+    EXPECT_EQ(plan.nodes.size(), model.layers * 20);
+    EXPECT_EQ(plan.count(PlanOpKind::Ccs), model.layers * 4);
+    EXPECT_EQ(plan.count(PlanOpKind::LutOp), model.layers * 4);
+    EXPECT_EQ(plan.count(PlanOpKind::HostPimTransfer), model.layers * 8);
+    EXPECT_EQ(plan.count(PlanOpKind::Attention), model.layers);
+    EXPECT_EQ(plan.count(PlanOpKind::Elementwise), model.layers * 3);
+    EXPECT_EQ(plan.count(PlanOpKind::Gemm), 0u);
+
+    EXPECT_TRUE(plan.topologicallySorted());
+    EXPECT_NO_THROW(plan.validate());
+    EXPECT_EQ(plan.mode, ExecutionMode::PimDl);
+}
+
+TEST(PlanLowering, DeviceAnnotationsFollowTheOperatorSplit)
+{
+    const PimPlatformConfig upmem = upmemPlatform();
+    LoweringOptions options;
+    options.platform = &upmem;
+    const Plan plan = lowerTransformer(bertBase(), LutNnParams{4, 16},
+                                       ExecutionMode::PimDl, options);
+    for (const PlanNode &node : plan.nodes) {
+        switch (node.kind) {
+        case PlanOpKind::Ccs:
+        case PlanOpKind::Attention:
+            EXPECT_EQ(node.device, PlanDevice::Host);
+            break;
+        case PlanOpKind::LutOp:
+            EXPECT_EQ(node.device, PlanDevice::Pim);
+            EXPECT_TRUE(node.has_role);
+            break;
+        case PlanOpKind::HostPimTransfer:
+            EXPECT_EQ(node.device, PlanDevice::Link);
+            EXPECT_GT(node.transfer_bytes, 0.0);
+            break;
+        case PlanOpKind::Elementwise:
+            // UPMEM has no elementwise support: stays on the host.
+            EXPECT_EQ(node.device, PlanDevice::Host);
+            EXPECT_NE(node.ew_kind, ElementwiseOpKind::None);
+            break;
+        default:
+            FAIL() << "unexpected op kind in a PIM-DL plan";
+        }
+    }
+
+    // HBM-PIM supports near-bank elementwise: those nodes move to PIM.
+    const PimPlatformConfig hbm = hbmPimPlatform();
+    options.platform = &hbm;
+    const Plan hbm_plan = lowerTransformer(
+        bertBase(), LutNnParams{4, 16}, ExecutionMode::PimDl, options);
+    for (const PlanNode &node : hbm_plan.nodes) {
+        if (node.kind == PlanOpKind::Elementwise) {
+            EXPECT_EQ(node.device, PlanDevice::Pim);
+        }
+    }
+}
+
+TEST(PlanLowering, PimGemmAndHostOnlyShapes)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    LoweringOptions options;
+    options.platform = &platform;
+    options.dtype = HostDtype::Int8;
+    const TransformerConfig model = bertBase();
+
+    const Plan gemm = lowerTransformer(model, {}, ExecutionMode::PimGemm,
+                                       options);
+    EXPECT_EQ(gemm.count(PlanOpKind::Gemm), model.layers * 4);
+    EXPECT_EQ(gemm.count(PlanOpKind::HostPimTransfer), model.layers * 8);
+    EXPECT_EQ(gemm.count(PlanOpKind::Ccs), 0u);
+    EXPECT_EQ(gemm.count(PlanOpKind::LutOp), 0u);
+    EXPECT_NO_THROW(gemm.validate());
+    for (const PlanNode &node : gemm.nodes) {
+        if (node.kind == PlanOpKind::Gemm) {
+            EXPECT_EQ(node.device, PlanDevice::Pim);
+        }
+    }
+
+    const Plan host = lowerTransformer(model, {}, ExecutionMode::HostOnly,
+                                       options);
+    EXPECT_EQ(host.count(PlanOpKind::Gemm), model.layers * 4);
+    EXPECT_EQ(host.count(PlanOpKind::HostPimTransfer), 0u);
+    EXPECT_NO_THROW(host.validate());
+    for (const PlanNode &node : host.nodes) {
+        EXPECT_EQ(node.device, PlanDevice::Host);
+        if (node.kind == PlanOpKind::Gemm) {
+            EXPECT_EQ(node.dtype, HostDtype::Int8);
+        }
+    }
+}
+
+TEST(PlanValidate, RejectsMalformedGraphs)
+{
+    const Plan good = lowerTransformer(bertBase(), LutNnParams{4, 16},
+                                       ExecutionMode::PimDl);
+
+    // A dependency edge pointing forward breaks the topological order.
+    Plan forward_dep = good;
+    forward_dep.nodes.front().deps.push_back(5);
+    EXPECT_FALSE(forward_dep.topologicallySorted());
+    EXPECT_THROW(forward_dep.validate(), std::runtime_error);
+
+    // A dependency on an unknown node id.
+    Plan dangling = good;
+    dangling.nodes.back().deps.push_back(good.nodes.size() + 7);
+    EXPECT_THROW(dangling.validate(), std::runtime_error);
+
+    // Ids must match positions.
+    Plan misnumbered = good;
+    misnumbered.nodes[3].id = 99;
+    EXPECT_THROW(misnumbered.validate(), std::runtime_error);
+
+    // LUT operators are only meaningful under the PIM-DL split.
+    Plan wrong_mode = good;
+    wrong_mode.mode = ExecutionMode::HostOnly;
+    EXPECT_THROW(wrong_mode.validate(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Golden equivalence with the pre-refactor estimators.
+//
+// Values captured from the seed implementation (hand-rolled split
+// loops) at %.17g precision: estimatePimDl at V=4/CT=16 and V=2/CT=16,
+// estimatePimGemm at INT8, estimateHostOnly at FP32, all on
+// upmemPlatform() + xeon4210Dual().
+// ---------------------------------------------------------------------
+
+struct SeedGoldens
+{
+    const char *model;
+    // estimatePimDl, V=4/CT=16.
+    double dl4_total, dl4_ccs, dl4_lut, dl4_attn, dl4_other, dl4_link;
+    // estimatePimDl, V=2/CT=16.
+    double dl2_total;
+    // estimatePimGemm, INT8.
+    double gemm_total, gemm_linear, gemm_link;
+    // estimateHostOnly, FP32.
+    double host_total, host_linear, host_attn, host_other;
+};
+
+const SeedGoldens kGoldens[] = {
+    {"BERT-base",
+     26.760451733133753, 4.2538601521802022, 14.446247216738326,
+     7.7784871354152259, 0.28185722879999997, 4114612224.0,
+     37.940050940198688,
+     432.87669012733647, 424.81634576312126, 12985565184.0,
+     91.192925623965451, 83.132581259750225, 7.7784871354152259,
+     0.28185722879999997},
+    {"BERT-large",
+     77.66178444641065, 11.343627072480537, 44.823905736022851,
+     20.742632361107269, 0.75161927680000007, 11274289152.0,
+     115.55173946189116,
+     1525.479644956707, 1503.9853933187997, 34628173824.0,
+     332.6337370545163, 311.13948541660903, 20.742632361107269,
+     0.75161927680000007},
+    {"ViT-huge",
+     127.6090886617185, 19.496859030825924, 88.437631198399572,
+     18.382752800493012, 1.291845632, 19818086400.0,
+     206.15717824140103,
+     3243.4494698848939, 3223.7748714524009, 59517173760.0,
+     721.56152354222627, 701.88692510973328, 18.382752800493012,
+     1.291845632},
+};
+
+TransformerConfig
+modelByName(const char *name)
+{
+    for (const TransformerConfig &model :
+         {bertBase(), bertLarge(), vitHuge()})
+        if (model.name == name)
+            return model;
+    throw std::runtime_error("unknown golden model");
+}
+
+TEST(PlanGoldens, SequentialScheduleReproducesSeedEstimates)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    for (const SeedGoldens &g : kGoldens) {
+        SCOPED_TRACE(g.model);
+        const TransformerConfig model = modelByName(g.model);
+
+        const InferenceEstimate dl4 =
+            engine.estimatePimDl(model, LutNnParams{4, 16});
+        expectClose(dl4.total_s, g.dl4_total);
+        expectClose(dl4.ccs_s, g.dl4_ccs);
+        expectClose(dl4.lut_s, g.dl4_lut);
+        expectClose(dl4.attention_s, g.dl4_attn);
+        expectClose(dl4.other_s, g.dl4_other);
+        expectClose(dl4.link_bytes, g.dl4_link);
+        expectClose(dl4.linear_s, g.dl4_ccs + g.dl4_lut);
+
+        const InferenceEstimate dl2 =
+            engine.estimatePimDl(model, LutNnParams{2, 16});
+        expectClose(dl2.total_s, g.dl2_total);
+
+        const InferenceEstimate gemm =
+            engine.estimatePimGemm(model, HostDtype::Int8);
+        expectClose(gemm.total_s, g.gemm_total);
+        expectClose(gemm.linear_s, g.gemm_linear);
+        expectClose(gemm.link_bytes, g.gemm_link);
+
+        const InferenceEstimate host =
+            engine.estimateHostOnly(model, HostDtype::Fp32);
+        expectClose(host.total_s, g.host_total);
+        expectClose(host.linear_s, g.host_linear);
+        expectClose(host.attention_s, g.host_attn);
+        expectClose(host.other_s, g.host_other);
+    }
+}
+
+TEST(PlanGoldens, ExplicitPlanPathMatchesWrappers)
+{
+    // The wrapper and the spelled-out lower/cost/schedule pipeline are
+    // the same computation.
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const TransformerConfig model = bertBase();
+    const LutNnParams v4{4, 16};
+
+    const Plan plan = engine.lower(model, v4, ExecutionMode::PimDl);
+    const CostedPlan costed = engine.cost(plan);
+    const ScheduleResult seq =
+        schedulerFor(SchedulePolicy::Sequential).schedule(costed);
+
+    const InferenceEstimate wrapped = engine.estimatePimDl(model, v4);
+    EXPECT_DOUBLE_EQ(seq.estimate.total_s, wrapped.total_s);
+    EXPECT_DOUBLE_EQ(seq.estimate.ccs_s, wrapped.ccs_s);
+    EXPECT_DOUBLE_EQ(seq.estimate.lut_s, wrapped.lut_s);
+    EXPECT_DOUBLE_EQ(seq.estimate.link_bytes, wrapped.link_bytes);
+    EXPECT_EQ(seq.steps.size(), plan.nodes.size());
+}
+
+// ---------------------------------------------------------------------
+// Scheduler semantics.
+// ---------------------------------------------------------------------
+
+TEST(PlanSchedulers, PipelinedStepInvariantsHold)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const TransformerConfig model = bertLarge();
+    const LutNnParams v4{4, 16};
+
+    const CostedPlan costed =
+        engine.cost(engine.lower(model, v4, ExecutionMode::PimDl));
+    const ScheduleResult pipe =
+        schedulerFor(SchedulePolicy::Pipelined).schedule(costed);
+
+    ASSERT_FALSE(pipe.steps.empty());
+    double step_sum = 0.0;
+    for (const ScheduleStep &step : pipe.steps) {
+        EXPECT_GE(step.total_s + 1e-15,
+                  std::max(step.host_s, step.pim_s));
+        EXPECT_LE(step.total_s, step.host_s + step.pim_s + 1e-15);
+        step_sum += step.total_s;
+    }
+    expectClose(step_sum, pipe.estimate.total_s);
+
+    // Pipelining hides CCS behind LUT (or vice versa): the total is
+    // max(host CCS, PIM LUT) plus the serial remainder.
+    const InferenceEstimate &est = pipe.estimate;
+    expectClose(est.total_s, std::max(est.ccs_s, est.lut_s) +
+                                 est.attention_s + est.other_s);
+
+    // And matches the legacy wrapper.
+    const InferenceEstimate wrapped =
+        engine.estimatePimDlPipelined(model, v4);
+    EXPECT_DOUBLE_EQ(est.total_s, wrapped.total_s);
+    EXPECT_LT(wrapped.total_s, engine.estimatePimDl(model, v4).total_s);
+}
+
+TEST(PlanSchedulers, OverlapRespectsResourceAndSequentialBounds)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const CostedPlan costed = engine.cost(
+        engine.lower(bertBase(), LutNnParams{4, 16},
+                     ExecutionMode::PimDl));
+
+    const double seq_total = schedulerFor(SchedulePolicy::Sequential)
+                                 .schedule(costed)
+                                 .estimate.total_s;
+    const InferenceEstimate over =
+        schedulerFor(SchedulePolicy::Overlap).schedule(costed).estimate;
+
+    // Steady-state amortized cost can never beat the busier device nor
+    // lose to fully serial execution.
+    EXPECT_GE(over.total_s + 1e-12,
+              std::max(over.host_busy_s, over.pim_busy_s));
+    EXPECT_LE(over.total_s, seq_total + 1e-12);
+
+    // A single wave of a chain-structured plan has nothing to overlap
+    // with: the makespan degenerates to the sequential total.
+    const InferenceEstimate one_wave =
+        OverlapScheduler(1).schedule(costed).estimate;
+    expectClose(one_wave.total_s, seq_total);
+}
+
+TEST(PlanSchedulers, AccountingIsScheduleInvariant)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const CostedPlan costed = engine.cost(
+        engine.lower(bertBase(), LutNnParams{4, 16},
+                     ExecutionMode::PimDl));
+
+    const InferenceEstimate seq =
+        schedulerFor(SchedulePolicy::Sequential).schedule(costed)
+            .estimate;
+    for (SchedulePolicy policy :
+         {SchedulePolicy::Pipelined, SchedulePolicy::Overlap}) {
+        const InferenceEstimate est =
+            schedulerFor(policy).schedule(costed).estimate;
+        EXPECT_DOUBLE_EQ(est.ccs_s, seq.ccs_s);
+        EXPECT_DOUBLE_EQ(est.lut_s, seq.lut_s);
+        EXPECT_DOUBLE_EQ(est.attention_s, seq.attention_s);
+        EXPECT_DOUBLE_EQ(est.other_s, seq.other_s);
+        EXPECT_DOUBLE_EQ(est.link_bytes, seq.link_bytes);
+        EXPECT_DOUBLE_EQ(est.host_busy_s, seq.host_busy_s);
+        EXPECT_DOUBLE_EQ(est.pim_busy_s, seq.pim_busy_s);
+        ASSERT_EQ(est.per_linear.size(), seq.per_linear.size());
+    }
+}
+
+TEST(PlanSchedulers, EstimateLabelsNameTheSchedule)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const TransformerConfig model = bertBase();
+    const LutNnParams v4{4, 16};
+
+    const std::string seq = engine.estimatePimDl(model, v4).label;
+    EXPECT_NE(seq.find("PIM-DL"), std::string::npos);
+    EXPECT_EQ(seq.find("+"), std::string::npos);
+
+    const std::string pipe =
+        engine.estimatePimDlPipelined(model, v4).label;
+    EXPECT_NE(pipe.find("+pipelined"), std::string::npos);
+
+    const std::string over =
+        engine
+            .estimate(model, v4, ExecutionMode::PimDl,
+                      schedulerFor(SchedulePolicy::Overlap))
+            .label;
+    EXPECT_NE(over.find("+overlap"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Tune memo + workload-shape key.
+// ---------------------------------------------------------------------
+
+TEST(TuneMemoTest, ConcurrentTuningDeduplicatesByShape)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    const AutoTuner tuner(platform);
+    const TuneMemo memo(tuner);
+
+    std::vector<LutWorkloadShape> shapes;
+    for (std::size_t f : {256u, 512u, 768u, 1024u}) {
+        LutWorkloadShape shape;
+        shape.n = 4096;
+        shape.cb = 64;
+        shape.ct = 16;
+        shape.f = f;
+        shapes.push_back(shape);
+    }
+
+    parallelFor(32, [&](std::size_t i) {
+        const LutWorkloadShape &shape = shapes[i % shapes.size()];
+        const AutoTuneResult &tuned = memo.tune(shape);
+        EXPECT_TRUE(tuned.found);
+    });
+    EXPECT_EQ(memo.size(), shapes.size());
+
+    // Memoized results match a fresh search exactly.
+    for (const LutWorkloadShape &shape : shapes) {
+        const AutoTuneResult direct = tuner.tune(shape);
+        EXPECT_DOUBLE_EQ(memo.tune(shape).cost.total(),
+                         direct.cost.total());
+    }
+    EXPECT_EQ(memo.size(), shapes.size());
+}
+
+TEST(TuneMemoTest, WorkloadShapeOrderingIsConsistent)
+{
+    LutWorkloadShape a;
+    a.n = 4096;
+    a.cb = 64;
+    a.ct = 16;
+    a.f = 512;
+    LutWorkloadShape b = a;
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a < b);
+    b.f = 513;
+    EXPECT_NE(a, b);
+    EXPECT_TRUE((a < b) != (b < a));
+    b = a;
+    b.output_dtype_bytes = 1.0;
+    EXPECT_NE(a, b); // dtype is part of the key: no false cache hits.
+}
+
+} // namespace
+} // namespace pimdl

@@ -91,11 +91,29 @@ TEST_F(ServingTest, LongerWaitDeadlineGrowsBatches)
 
 TEST_F(ServingTest, BatchLatencyMemoizedAndMonotone)
 {
-    const double b1 = sim_.batchLatency(1, false);
-    const double b8 = sim_.batchLatency(8, false);
+    const double b1 = sim_.batchLatency(1, SchedulePolicy::Sequential);
+    const double b8 = sim_.batchLatency(8, SchedulePolicy::Sequential);
     EXPECT_GT(b8, b1);
     // Second query hits the cache (same value).
-    EXPECT_DOUBLE_EQ(sim_.batchLatency(8, false), b8);
+    EXPECT_DOUBLE_EQ(sim_.batchLatency(8, SchedulePolicy::Sequential),
+                     b8);
+}
+
+TEST_F(ServingTest, BatchLatencyKeyedOnSchedulerPolicy)
+{
+    // The memo must not alias different policies for the same batch.
+    const double seq = sim_.batchLatency(4, SchedulePolicy::Sequential);
+    const double pipe = sim_.batchLatency(4, SchedulePolicy::Pipelined);
+    const double over = sim_.batchLatency(4, SchedulePolicy::Overlap);
+    EXPECT_LT(pipe, seq);
+    EXPECT_LE(over, seq + 1e-12);
+    // Repeat queries return the cached values bit-for-bit.
+    EXPECT_DOUBLE_EQ(sim_.batchLatency(4, SchedulePolicy::Sequential),
+                     seq);
+    EXPECT_DOUBLE_EQ(sim_.batchLatency(4, SchedulePolicy::Pipelined),
+                     pipe);
+    EXPECT_DOUBLE_EQ(sim_.batchLatency(4, SchedulePolicy::Overlap),
+                     over);
 }
 
 TEST_F(ServingTest, PipelinedServesFaster)
@@ -105,7 +123,7 @@ TEST_F(ServingTest, PipelinedServesFaster)
     cfg.max_batch = 16;
     cfg.horizon_s = 60.0;
     const ServingStats seq = sim_.simulate(cfg);
-    cfg.pipelined = true;
+    cfg.policy = SchedulePolicy::Pipelined;
     const ServingStats pipe = sim_.simulate(cfg);
     EXPECT_LE(pipe.mean_latency_s, seq.mean_latency_s + 1e-9);
 }
