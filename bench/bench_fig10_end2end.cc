@@ -197,6 +197,22 @@ main(int argc, char **argv)
                   << "s util="
                   << TablePrinter::fmt(stats.utilization * 100.0, 1)
                   << "%\n";
+
+        // Re-run the same workload with batch faults injected so the
+        // artifact's fault.serving.* counters carry real retry and
+        // availability data (see bench_fault_tolerance for the sweep).
+        // The deadline budgets one retried re-execution on top of the
+        // fault-free tail before a request counts as timed out.
+        serving.deadline_s = 2.5 * stats.p99_latency_s;
+        serving.faults.batch_fault_rate = 0.2;
+        const ServingStats faulty = sim.simulate(serving);
+        std::cout << "  with 20% batch faults: availability="
+                  << TablePrinter::fmt(faulty.availability, 4)
+                  << " retries=" << faulty.batch_retries
+                  << " failed_batches=" << faulty.failed_batches
+                  << " goodput="
+                  << TablePrinter::fmt(faulty.goodput_rps, 1)
+                  << " rps\n";
     }
 
     pimdl::bench::writeBenchArtifacts(opts);

@@ -11,11 +11,13 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "obs/snapshot.h"
+#include "plan/schedule.h"
 
 namespace pimdl {
 namespace bench {
@@ -44,31 +46,111 @@ struct BenchOptions
 };
 
 /**
+ * Parses a --policy value; exits with the valid spellings on anything
+ * else so a typo fails loudly instead of silently running the default
+ * scheduler.
+ */
+inline SchedulePolicy
+parseSchedulePolicy(const std::string &name)
+{
+    if (name == "sequential")
+        return SchedulePolicy::Sequential;
+    if (name == "pipelined")
+        return SchedulePolicy::Pipelined;
+    if (name == "overlap")
+        return SchedulePolicy::Overlap;
+    std::cerr << "unknown --policy '" << name
+              << "' (valid: sequential, pipelined, overlap)\n";
+    std::exit(2);
+}
+
+/** Parses @p value as a finite, strictly positive number or exits. */
+inline double
+parsePositiveDouble(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !std::isfinite(v) ||
+        v <= 0.0) {
+        std::cerr << flag << " expects a positive number, got '" << value
+                  << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parses @p value as a probability in [0, 1] or exits. */
+inline double
+parseUnitInterval(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !std::isfinite(v) ||
+        v < 0.0 || v > 1.0) {
+        std::cerr << flag << " expects a rate in [0, 1], got '" << value
+                  << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parses @p value as a strictly positive integer or exits. */
+inline std::size_t
+parsePositiveSize(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || v == 0) {
+        std::cerr << flag << " expects a positive integer, got '" << value
+                  << "'\n";
+        std::exit(2);
+    }
+    return static_cast<std::size_t>(v);
+}
+
+/**
+ * Hook for bench-specific flags layered over the shared ones. Called
+ * with the current argument and the cursor; consume operands by
+ * advancing @p i and return true, or return false to reject the flag.
+ */
+using ExtraArgHandler =
+    std::function<bool(const std::string &arg, int argc, char **argv,
+                       int &i)>;
+
+/**
  * Parses the shared bench flags; exits with usage on unknown arguments
  * so CI catches typos instead of silently running the default config.
+ * @p extra (optional) claims bench-specific flags first; @p extra_usage
+ * is appended to the usage line.
  */
 inline BenchOptions
-parseBenchArgs(int argc, char **argv)
+parseBenchArgs(int argc, char **argv,
+               const ExtraArgHandler &extra = nullptr,
+               const std::string &extra_usage = "")
 {
     BenchOptions opts;
+    const auto usage = [&](std::ostream &out) {
+        out << "usage: " << argv[0]
+            << " [--smoke] [--metrics-out <file>]"
+               " [--trace-out <file>]"
+            << extra_usage << "\n";
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--metrics-out" && i + 1 < argc) {
+        if (extra && extra(arg, argc, argv, i)) {
+            continue;
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
             opts.metrics_out = argv[++i];
         } else if (arg == "--trace-out" && i + 1 < argc) {
             opts.trace_out = argv[++i];
         } else if (arg == "--smoke") {
             opts.smoke = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: " << argv[0]
-                      << " [--smoke] [--metrics-out <file>]"
-                         " [--trace-out <file>]\n";
+            usage(std::cout);
             std::exit(0);
         } else {
-            std::cerr << "unknown argument: " << arg << "\n"
-                      << "usage: " << argv[0]
-                      << " [--smoke] [--metrics-out <file>]"
-                         " [--trace-out <file>]\n";
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage(std::cerr);
             std::exit(2);
         }
     }

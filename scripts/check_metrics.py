@@ -7,7 +7,11 @@ the expected schema id, or is missing the metric keys every later perf
 PR relies on (per-role CCS/LUT split, serving latency percentiles,
 tuner search counters).
 
-Usage: check_metrics.py <snapshot.json>
+Usage: check_metrics.py <snapshot.json> [--require-fault-exec]
+
+--require-fault-exec additionally requires the fault.lut.* /
+fault.injected.* execution-ladder keys, which only appear when a bench
+actually drove the fault-aware executor (bench_fault_tolerance).
 """
 
 import json
@@ -23,7 +27,29 @@ REQUIRED_COUNTERS = [
     "tuner.searches",
     "tuner.mappings_evaluated",
     "tuner.mappings_pruned",
+    # Fault schema: the serving simulator registers these on every run
+    # (zero-valued when the profile is disabled) so the artifact always
+    # carries the availability/retry accounting keys.
+    "fault.serving.batch_retries",
+    "fault.serving.failed_batches",
+    "fault.serving.failed_requests",
+    "fault.serving.deadline_timeouts",
+    "fault.serving.degraded_batches",
 ]
+
+# Only present when a bench drove the fault-aware LUT executor.
+FAULT_EXEC_COUNTERS = [
+    "fault.injected.pe_transient",
+    "fault.injected.lut_bitflip",
+    "fault.injected.transfer_corrupt",
+    "fault.injected.transfer_stall",
+    "fault.lut.retries",
+    "fault.lut.checksum_mismatches",
+    "fault.lut.tiles_remapped",
+    "fault.lut.dead_pes",
+    "fault.lut.host_fallbacks",
+]
+FAULT_EXEC_HISTOGRAMS = ["fault.lut.added_latency_s"]
 
 # Regexes so the check survives role renames/additions as long as the
 # per-role split itself is still published.
@@ -31,6 +57,7 @@ REQUIRED_GAUGE_PATTERNS = [
     r"engine\.role\..+\.ccs_s",
     r"engine\.role\..+\.lut_s",
     r"serving\.utilization",
+    r"fault\.serving\.availability",
 ]
 
 REQUIRED_HISTOGRAMS = [
@@ -52,11 +79,14 @@ def fail(message):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <snapshot.json>")
+    args = sys.argv[1:]
+    require_fault_exec = "--require-fault-exec" in args
+    args = [a for a in args if a != "--require-fault-exec"]
+    if len(args) != 1:
+        fail(f"usage: {sys.argv[0]} <snapshot.json> [--require-fault-exec]")
 
     try:
-        with open(sys.argv[1]) as fh:
+        with open(args[0]) as fh:
             snap = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         fail(f"cannot load snapshot: {exc}")
@@ -85,6 +115,17 @@ def main():
                 fail(f"histogram {name!r} missing field {field!r}")
         if hist["count"] == 0:
             fail(f"histogram {name!r} recorded no samples")
+
+    if require_fault_exec:
+        for name in FAULT_EXEC_COUNTERS:
+            if name not in snap["counters"]:
+                fail(f"missing fault-exec counter {name!r}")
+        for name in FAULT_EXEC_HISTOGRAMS:
+            hist = snap["histograms"].get(name)
+            if hist is None:
+                fail(f"missing fault-exec histogram {name!r}")
+            if hist["count"] == 0:
+                fail(f"histogram {name!r} recorded no samples")
 
     # Sanity: the serving percentiles must be ordered and positive.
     serving = snap["histograms"]["serving.request_latency_s"]

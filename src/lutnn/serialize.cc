@@ -12,6 +12,14 @@ namespace {
 constexpr std::uint32_t kMagic = 0x4d4c4450; // "PDLM" little-endian
 constexpr std::uint32_t kVersion = 1;
 
+/**
+ * Sanity ceilings applied to header fields *before* any allocation, so
+ * a corrupt or truncated stream raises a descriptive error instead of
+ * attempting a multi-gigabyte resize (or worse, an overflowing one).
+ */
+constexpr std::uint32_t kMaxDim = 1u << 20;
+constexpr std::uint64_t kMaxElements = 1ull << 28; // 1 GiB of floats
+
 void
 writeU32(std::ostream &out, std::uint32_t v)
 {
@@ -60,6 +68,27 @@ readString(std::istream &in)
     return s;
 }
 
+/** Reads a header dimension and bounds it to (0, kMaxDim]. */
+std::uint32_t
+readDim(std::istream &in, const char *field)
+{
+    const std::uint32_t v = readU32(in);
+    PIMDL_REQUIRE(v > 0 && v <= kMaxDim,
+                  std::string("corrupt PDLM header: ") + field +
+                      " out of range");
+    return v;
+}
+
+/** Reads a boolean header flag and rejects anything but 0/1. */
+bool
+readFlag(std::istream &in, const char *field)
+{
+    const std::uint32_t v = readU32(in);
+    PIMDL_REQUIRE(v <= 1, std::string("corrupt PDLM header: ") + field +
+                              " flag must be 0 or 1");
+    return v != 0;
+}
+
 } // namespace
 
 const LutLayer &
@@ -94,13 +123,22 @@ LutLayer
 loadLutLayer(std::istream &in)
 {
     LutShape shape;
-    shape.input_dim = readU32(in);
-    shape.output_dim = readU32(in);
-    shape.subvec_len = readU32(in);
-    shape.centroids = readU32(in);
+    shape.input_dim = readDim(in, "input_dim");
+    shape.output_dim = readDim(in, "output_dim");
+    shape.subvec_len = readDim(in, "subvec_len");
+    shape.centroids = readDim(in, "centroids");
     shape.validate();
-    const bool quantized = readU32(in) != 0;
-    const bool has_bias = readU32(in) != 0;
+    // Bound total payload sizes before allocating: codebooks hold
+    // input_dim * centroids floats, the weight input_dim * output_dim.
+    const std::uint64_t book_elems =
+        static_cast<std::uint64_t>(shape.input_dim) * shape.centroids;
+    const std::uint64_t weight_elems =
+        static_cast<std::uint64_t>(shape.input_dim) * shape.output_dim;
+    PIMDL_REQUIRE(book_elems <= kMaxElements &&
+                      weight_elems <= kMaxElements,
+                  "corrupt PDLM header: implausible layer payload size");
+    const bool quantized = readFlag(in, "quantized");
+    const bool has_bias = readFlag(in, "bias");
 
     CodebookSet books(shape.codebooks(), shape.centroids,
                       shape.subvec_len);

@@ -227,6 +227,37 @@ OverlapScheduler::schedule(const CostedPlan &costed) const
     return result;
 }
 
+DegradedLutRemap
+planDegradedLutRemap(const LutWorkloadShape &shape,
+                     const LutMapping &mapping,
+                     const std::vector<bool> &failed)
+{
+    DegradedLutRemap remap;
+    remap.total_tiles = mapping.totalPes(shape);
+    PIMDL_REQUIRE(failed.size() >= remap.total_tiles,
+                  "failed-PE vector smaller than the mapping's PE pool");
+
+    std::vector<std::size_t> healthy;
+    healthy.reserve(remap.total_tiles);
+    for (std::size_t pe = 0; pe < remap.total_tiles; ++pe) {
+        if (!failed[pe])
+            healthy.push_back(pe);
+    }
+    remap.healthy_pes = healthy.size();
+    if (healthy.empty())
+        return remap; // illegal: nothing left to execute on
+
+    // Deal logical tiles to surviving PEs round-robin in ascending id
+    // order: deterministic, and balanced to within one tile per PE.
+    remap.tile_owner.resize(remap.total_tiles);
+    for (std::size_t tile = 0; tile < remap.total_tiles; ++tile)
+        remap.tile_owner[tile] = healthy[tile % healthy.size()];
+    remap.waves =
+        (remap.total_tiles + healthy.size() - 1) / healthy.size();
+    remap.legal = true;
+    return remap;
+}
+
 const Scheduler &
 schedulerFor(SchedulePolicy policy)
 {

@@ -138,6 +138,38 @@ class OverlapScheduler final : public Scheduler
 /** Shared immutable scheduler instance for a built-in policy. */
 const Scheduler &schedulerFor(SchedulePolicy policy);
 
+/**
+ * Degraded-mode re-schedule of a sub-LUT partition around a failed-PE
+ * set. The logical (ns_tile x fs_tile) tile grid is untouched — every
+ * tile computes exactly the reduction the original mapping prescribed,
+ * so the assembled output stays bit-exact — but tiles whose owner PE is
+ * dead are dealt round-robin to the surviving PEs, which then execute
+ * in `waves` serial rounds instead of one.
+ */
+struct DegradedLutRemap
+{
+    /** False when no healthy PE survives (caller must fall back). */
+    bool legal = false;
+    /** Logical tiles of the original partition (groups x lanes). */
+    std::size_t total_tiles = 0;
+    /** Surviving PEs available to execute tiles. */
+    std::size_t healthy_pes = 0;
+    /** Serial rounds needed: ceil(total_tiles / healthy_pes). */
+    std::size_t waves = 0;
+    /** Logical tile id -> surviving physical PE id. */
+    std::vector<std::size_t> tile_owner;
+};
+
+/**
+ * Plans the degraded execution of @p mapping on @p shape given the
+ * per-PE liveness vector @p failed (indexed by physical PE id over the
+ * mapping's pool; true = dead). Deterministic: tiles are dealt to
+ * healthy PEs in ascending id order.
+ */
+DegradedLutRemap planDegradedLutRemap(const LutWorkloadShape &shape,
+                                      const LutMapping &mapping,
+                                      const std::vector<bool> &failed);
+
 } // namespace pimdl
 
 #endif // PIMDL_PLAN_SCHEDULE_H

@@ -1,8 +1,11 @@
 #include "lut_executor.h"
 
+#include <cstring>
+
 #include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/schedule.h"
 
 namespace pimdl {
 
@@ -17,10 +20,39 @@ lutShapeFor(const LutLayer &layer, std::size_t rows)
     return shape;
 }
 
+namespace {
+
+/** Per-tile outcome of the fault-aware attempt loop (one writer each). */
+struct TileOutcome
+{
+    std::uint32_t transient = 0;
+    std::uint32_t bitflips = 0;
+    std::uint32_t corruptions = 0;
+    std::uint32_t stalls = 0;
+    std::uint32_t retries = 0;
+    /** Retries exhausted; the tile needs a clean host-side recompute. */
+    bool escalated = false;
+    /** Stall/backoff/re-execution seconds this tile accumulated. */
+    double extra_s = 0.0;
+};
+
+/** Flips one bit of one float in a tile buffer (simulated corruption). */
+void
+flipTileBit(float *data, std::size_t slot, unsigned bit)
+{
+    std::uint32_t word;
+    std::memcpy(&word, data + slot, sizeof(word));
+    word ^= 1u << (bit % 32u);
+    std::memcpy(data + slot, &word, sizeof(word));
+}
+
+} // namespace
+
 DistributedLutResult
 runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
                   const IndexMatrix &indices, const LutMapping &mapping,
-                  bool quantized)
+                  bool quantized, const FaultInjector *faults,
+                  const RetryPolicy &retry)
 {
     const LutWorkloadShape shape = lutShapeFor(layer, indices.rows);
     std::string reason;
@@ -28,6 +60,8 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
                   "illegal mapping: " + reason);
     PIMDL_REQUIRE(!quantized || layer.hasQuantizedTables(),
                   "quantized run requires quantizeTables()");
+    if (faults != nullptr)
+        retry.validate();
 
     DistributedLutResult result;
     result.cost = evaluateLutMapping(platform, shape, mapping);
@@ -70,13 +104,15 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
     result.output = Tensor(shape.n, shape.f);
     Tensor &out = result.output;
 
-    // Each simulated PE (group g, lane l) reduces its own tile.
-    parallelFor(groups * lanes, [&](std::size_t pe) {
-        const std::size_t g = pe / lanes;
-        const std::size_t l = pe % lanes;
+    // The bit-faithful reduction of one (ns_tile x fs_tile) tile for
+    // group g / lane l, written row-major into dst with the given
+    // stride. The operation order is identical no matter which PE — or
+    // the host — executes the tile, which is what keeps degraded-mode
+    // and fallback outputs bit-exact.
+    const auto computeTile = [&](float *dst, std::size_t stride,
+                                 std::size_t g, std::size_t l) {
         const std::size_t row0 = g * mapping.ns_tile;
         const std::size_t col0 = l * mapping.fs_tile;
-
         if (quantized) {
             // INT8 LUT entries, INT32 on-PE accumulators; the host
             // dequantizes after gathering.
@@ -91,22 +127,244 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
                         acc[fcol] += layer.quantLutValue(c, idx,
                                                          col0 + fcol);
                 }
-                float *dst = out.rowPtr(row0 + r) + col0;
+                float *row = dst + r * stride;
                 for (std::size_t fcol = 0; fcol < mapping.fs_tile; ++fcol)
-                    dst[fcol] = static_cast<float>(acc[fcol]) * scale;
+                    row[fcol] = static_cast<float>(acc[fcol]) * scale;
             }
         } else {
             for (std::size_t r = 0; r < mapping.ns_tile; ++r) {
-                float *dst = out.rowPtr(row0 + r) + col0;
+                float *row = dst + r * stride;
+                std::fill(row, row + mapping.fs_tile, 0.0f);
                 for (std::size_t c = 0; c < cb; ++c) {
                     const std::size_t idx = indices.at(row0 + r, c);
                     for (std::size_t fcol = 0; fcol < mapping.fs_tile;
                          ++fcol)
-                        dst[fcol] += layer.lutValue(c, idx, col0 + fcol);
+                        row[fcol] += layer.lutValue(c, idx, col0 + fcol);
                 }
             }
         }
-    });
+    };
+
+    const auto outTilePtr = [&](std::size_t g, std::size_t l) {
+        return out.rowPtr(g * mapping.ns_tile) + l * mapping.fs_tile;
+    };
+
+    if (faults == nullptr) {
+        // Fault-free fast path: each simulated PE (group g, lane l)
+        // reduces its own tile straight into the output.
+        parallelFor(groups * lanes, [&](std::size_t pe) {
+            computeTile(outTilePtr(pe / lanes, pe % lanes), out.cols(),
+                        pe / lanes, pe % lanes);
+        });
+    } else {
+        const std::size_t tiles = groups * lanes;
+
+        // Stage 1 of the ladder: find the permanently dead PEs in this
+        // mapping's pool and, if any, re-schedule their tiles onto the
+        // survivors (degraded mode). No survivors at all => the engine
+        // abandons the PIM and serves the operator from the host LUT.
+        std::vector<bool> failed(tiles, false);
+        std::size_t hard_failed = 0;
+        for (std::size_t pe = 0; pe < tiles; ++pe) {
+            if (faults->peHardFailed(pe)) {
+                failed[pe] = true;
+                ++hard_failed;
+            }
+        }
+        result.fault.hard_failed_pes = hard_failed;
+
+        static obs::Counter &c_fallbacks =
+            reg.counter("fault.lut.host_fallbacks");
+        static obs::Counter &c_transient =
+            reg.counter("fault.injected.pe_transient");
+        static obs::Counter &c_bitflip =
+            reg.counter("fault.injected.lut_bitflip");
+        static obs::Counter &c_corrupt =
+            reg.counter("fault.injected.transfer_corrupt");
+        static obs::Counter &c_stall =
+            reg.counter("fault.injected.transfer_stall");
+        static obs::Counter &c_retries = reg.counter("fault.lut.retries");
+        static obs::Counter &c_mismatches =
+            reg.counter("fault.lut.checksum_mismatches");
+        static obs::Counter &c_remapped =
+            reg.counter("fault.lut.tiles_remapped");
+        static obs::Counter &c_dead = reg.counter("fault.lut.dead_pes");
+        static obs::Histogram &h_added =
+            reg.histogram("fault.lut.added_latency_s");
+
+        DegradedLutRemap remap;
+        if (hard_failed > 0) {
+            c_dead.add(hard_failed);
+            remap = planDegradedLutRemap(shape, mapping, failed);
+            if (!remap.legal) {
+                // Ladder bottom: graceful host fallback. lookup() /
+                // lookupQuantized() applies the bias itself, so return
+                // before the distributed bias pass.
+                obs::TraceSpan fb("fault.host_fallback");
+                fb.attr("dead_pes",
+                        static_cast<std::uint64_t>(hard_failed));
+                result.output = quantized ? layer.lookupQuantized(indices)
+                                          : layer.lookup(indices);
+                result.fault.host_fallback = true;
+                c_fallbacks.add();
+                span.attr("host_fallback", std::uint64_t{1});
+                return result;
+            }
+            result.fault.degraded_waves = remap.waves;
+        }
+
+        // One epoch per kernel launch: consecutive executions see fresh
+        // (but still seed-deterministic) draws.
+        const std::uint64_t epoch = faults->nextEpoch();
+        // Modeled cost of re-running one PE kernel attempt.
+        const double attempt_cost =
+            result.cost.microKernelTotal() + result.cost.kernel_launch;
+        const std::size_t tile_floats =
+            mapping.ns_tile * mapping.fs_tile;
+        const std::size_t tile_bytes = tile_floats * sizeof(float);
+
+        std::vector<TileOutcome> outcomes(tiles);
+
+        parallelFor(tiles, [&](std::size_t tile) {
+            const std::size_t g = tile / lanes;
+            const std::size_t l = tile % lanes;
+            // Physical executor of this logical tile (survivor under
+            // degraded mode, the owning PE otherwise).
+            const std::size_t pe =
+                remap.legal ? remap.tile_owner[tile] : tile;
+            TileOutcome &oc = outcomes[tile];
+
+            std::vector<float> scratch(tile_floats);
+            for (std::size_t attempt = 0; attempt <= retry.max_retries;
+                 ++attempt) {
+                if (faults->transferStall(epoch, pe, attempt)) {
+                    ++oc.stalls;
+                    oc.extra_s += faults->config().stall_penalty_s;
+                }
+
+                bool delivered = false;
+                if (faults->transientCrash(epoch, pe, attempt)) {
+                    ++oc.transient;
+                } else {
+                    computeTile(scratch.data(), mapping.fs_tile, g, l);
+                    // The PE stamps a checksum on the tile it computed;
+                    // corruption strikes after that stamp (in the
+                    // resident LUT scrub window or on the wire), so the
+                    // host-side re-checksum exposes it.
+                    const std::uint64_t device_sum =
+                        faultChecksum(scratch.data(), tile_bytes);
+                    bool corrupted = false;
+                    if (faults->lutBitFlip(epoch, pe, attempt)) {
+                        flipTileBit(
+                            scratch.data(),
+                            faults->corruptionTarget(epoch, pe, attempt,
+                                                     tile_floats),
+                            static_cast<unsigned>(epoch + attempt));
+                        ++oc.bitflips;
+                        corrupted = true;
+                        // Recovery re-stages the scrubbed LUT tile from
+                        // the host copy: one more per-PE LUT load.
+                        oc.extra_s += result.cost.t_ld_lut;
+                    } else if (faults->transferCorrupt(epoch, pe,
+                                                       attempt)) {
+                        flipTileBit(
+                            scratch.data(),
+                            faults->corruptionTarget(epoch, pe, attempt,
+                                                     tile_floats),
+                            static_cast<unsigned>(epoch + attempt + 7));
+                        ++oc.corruptions;
+                        corrupted = true;
+                    }
+                    const std::uint64_t host_sum =
+                        faultChecksum(scratch.data(), tile_bytes);
+                    delivered = !corrupted && host_sum == device_sum;
+                }
+
+                if (delivered) {
+                    float *dst = outTilePtr(g, l);
+                    for (std::size_t r = 0; r < mapping.ns_tile; ++r)
+                        std::memcpy(dst + r * out.cols(),
+                                    scratch.data() + r * mapping.fs_tile,
+                                    mapping.fs_tile * sizeof(float));
+                    return;
+                }
+                if (attempt == retry.max_retries) {
+                    oc.escalated = true;
+                    return;
+                }
+                // Capped exponential backoff, then re-execute.
+                ++oc.retries;
+                oc.extra_s += retry.backoffFor(attempt) + attempt_cost;
+            }
+        });
+
+        // Deterministic aggregation after the parallel pass (each tile
+        // outcome had exactly one writer).
+        double max_tile_extra = 0.0;
+        std::size_t escalated = 0;
+        for (const TileOutcome &oc : outcomes) {
+            result.fault.transient_crashes += oc.transient;
+            result.fault.lut_bitflips += oc.bitflips;
+            result.fault.checksum_mismatches += oc.corruptions;
+            result.fault.stalls += oc.stalls;
+            result.fault.retries += oc.retries;
+            if (oc.escalated)
+                ++escalated;
+            max_tile_extra = std::max(max_tile_extra, oc.extra_s);
+        }
+
+        // Escalation: a tile that exhausted its retries is treated as
+        // running on a just-failed PE — the host recomputes it from its
+        // own LUT copy, serially, preserving bit-exact output.
+        if (escalated > 0) {
+            for (std::size_t tile = 0; tile < tiles; ++tile) {
+                if (!outcomes[tile].escalated)
+                    continue;
+                computeTile(outTilePtr(tile / lanes, tile % lanes),
+                            out.cols(), tile / lanes, tile % lanes);
+            }
+        }
+
+        // Stall/retry terms for the analytical timing: lock-step PEs
+        // finish with the slowest tile's recovery chain; degraded mode
+        // serializes the survivors into `waves` rounds; escalated tiles
+        // recompute serially on the host.
+        double remapped = 0.0;
+        if (remap.legal) {
+            result.fault.added_latency_s +=
+                static_cast<double>(remap.waves - 1) * attempt_cost;
+            for (std::size_t tile = 0; tile < tiles; ++tile) {
+                if (remap.tile_owner[tile] != tile)
+                    remapped += 1.0;
+            }
+        }
+        result.fault.tiles_remapped =
+            static_cast<std::size_t>(remapped) + escalated;
+        result.fault.added_latency_s +=
+            max_tile_extra + static_cast<double>(escalated) * attempt_cost;
+
+        c_transient.add(result.fault.transient_crashes);
+        c_bitflip.add(result.fault.lut_bitflips);
+        c_corrupt.add(result.fault.checksum_mismatches);
+        c_stall.add(result.fault.stalls);
+        c_retries.add(result.fault.retries);
+        c_mismatches.add(result.fault.checksum_mismatches +
+                         result.fault.lut_bitflips);
+        c_remapped.add(result.fault.tiles_remapped);
+        h_added.record(result.fault.added_latency_s);
+
+        if (!result.fault.faultFree()) {
+            obs::TraceSpan recover("fault.recover");
+            recover.attr("retries", static_cast<std::uint64_t>(
+                                        result.fault.retries));
+            recover.attr("remapped", static_cast<std::uint64_t>(
+                                         result.fault.tiles_remapped));
+            recover.attr("added_s", result.fault.added_latency_s);
+        }
+        span.attr("fault_retries",
+                  static_cast<std::uint64_t>(result.fault.retries));
+        span.attr("fault_added_s", result.fault.added_latency_s);
+    }
 
     // Bias is applied host-side after gathering (element-wise op).
     if (!layer.bias().empty()) {

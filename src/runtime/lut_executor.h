@@ -9,11 +9,22 @@
  * and the LUT tile of its lane, and reduces locally — exactly the
  * dataflow the partition scheme prescribes (no inter-PE traffic, no
  * partial-sum merging on the host).
+ *
+ * Execution is optionally fault-aware (src/fault): a seed-driven
+ * injector can kill PEs, crash kernel attempts, flip bits in resident
+ * LUT tiles, and corrupt or stall host<->PIM transfers. The resilient
+ * ladder — per-PE output-tile checksum verification, capped
+ * exponential-backoff retries, degraded re-scheduling of tiles owned by
+ * dead PEs onto survivors (plan/schedule.h), and finally a host
+ * fallback — guarantees the assembled output stays bit-exact versus
+ * fault-free execution while the stall/retry/remap cost lands in the
+ * analytical timing as FaultReport::added_latency_s.
  */
 
 #ifndef PIMDL_RUNTIME_LUT_EXECUTOR_H
 #define PIMDL_RUNTIME_LUT_EXECUTOR_H
 
+#include "fault/fault.h"
 #include "lutnn/lut_layer.h"
 #include "tuner/cost_model.h"
 
@@ -28,6 +39,15 @@ struct DistributedLutResult
     LutCostBreakdown cost;
     /** PEs the partition occupied. */
     std::size_t pes_used = 0;
+    /** Fault outcome of this execution (empty when fault-free). */
+    FaultReport fault;
+
+    /** Modeled wall time including fault stall/retry/remap terms. */
+    double
+    modelSeconds() const
+    {
+        return cost.total() + fault.added_latency_s;
+    }
 };
 
 /**
@@ -35,13 +55,20 @@ struct DistributedLutResult
  * under @p mapping. When @p quantized is true the PEs reduce the INT8
  * LUT with INT32 accumulators (the UPMEM deployment mode).
  *
+ * When @p faults is non-null, execution runs through the resilient
+ * ladder under @p retry; with all rates zero and no forced kills the
+ * output (and the analytical cost) is bit-identical to a fault-free
+ * run.
+ *
  * Throws (via PIMDL_REQUIRE) if the mapping is illegal for the shape.
  */
 DistributedLutResult runDistributedLut(const PimPlatformConfig &platform,
                                        const LutLayer &layer,
                                        const IndexMatrix &indices,
                                        const LutMapping &mapping,
-                                       bool quantized);
+                                       bool quantized,
+                                       const FaultInjector *faults = nullptr,
+                                       const RetryPolicy &retry = {});
 
 /** Builds the tuner workload shape for a LUT layer and row count. */
 LutWorkloadShape lutShapeFor(const LutLayer &layer, std::size_t rows);

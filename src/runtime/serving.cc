@@ -6,10 +6,50 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace pimdl {
+
+namespace {
+
+/** Hash stream of the per-batch outcome draws (distinct from the PE
+ * executor's streams in src/fault). */
+constexpr std::uint64_t kServingBatchStream = 101;
+
+} // namespace
+
+void
+ServingFaultProfile::validate() const
+{
+    PIMDL_REQUIRE(std::isfinite(batch_fault_rate) &&
+                      batch_fault_rate >= 0.0 && batch_fault_rate <= 1.0,
+                  "faults.batch_fault_rate must lie in [0, 1]");
+    PIMDL_REQUIRE(std::isfinite(degraded_service_factor) &&
+                      degraded_service_factor >= 1.0,
+                  "faults.degraded_service_factor must be >= 1");
+    PIMDL_REQUIRE(std::isfinite(backoff_base_s) && backoff_base_s >= 0.0,
+                  "faults.backoff_base_s must be finite and non-negative");
+    PIMDL_REQUIRE(std::isfinite(backoff_cap_s) &&
+                      backoff_cap_s >= backoff_base_s,
+                  "faults.backoff_cap_s must be >= faults.backoff_base_s");
+}
+
+void
+ServingConfig::validate() const
+{
+    PIMDL_REQUIRE(std::isfinite(arrival_rate) && arrival_rate > 0.0,
+                  "arrival_rate must be positive (requests/second)");
+    PIMDL_REQUIRE(std::isfinite(horizon_s) && horizon_s > 0.0,
+                  "horizon_s must be positive (seconds)");
+    PIMDL_REQUIRE(max_batch > 0, "max_batch must be positive");
+    PIMDL_REQUIRE(std::isfinite(max_wait_s) && max_wait_s >= 0.0,
+                  "max_wait_s must be finite and non-negative");
+    PIMDL_REQUIRE(std::isfinite(deadline_s) && deadline_s >= 0.0,
+                  "deadline_s must be finite and non-negative (0 = off)");
+    faults.validate();
+}
 
 ServingSimulator::ServingSimulator(const PimDlEngine &engine,
                                    const TransformerConfig &model,
@@ -44,9 +84,7 @@ ServingSimulator::batchLatency(std::size_t batch,
 ServingStats
 ServingSimulator::simulate(const ServingConfig &config) const
 {
-    PIMDL_REQUIRE(config.arrival_rate > 0.0 && config.horizon_s > 0.0,
-                  "serving config must have positive rate and horizon");
-    PIMDL_REQUIRE(config.max_batch > 0, "max_batch must be positive");
+    config.validate();
 
     obs::TraceSpan span("serving.simulate");
     span.attr("arrival_rate", config.arrival_rate);
@@ -60,6 +98,21 @@ ServingSimulator::simulate(const ServingConfig &config) const
     static obs::Histogram &h_batch = reg.histogram("serving.batch_size");
     static obs::Histogram &h_queue = reg.histogram("serving.queue_depth");
     static obs::Gauge &g_util = reg.gauge("serving.utilization");
+    // Fault-schema metrics are registered unconditionally so the
+    // snapshot artifact carries stable fault.* keys even for fault-free
+    // runs (check_metrics.py validates their presence).
+    static obs::Counter &c_f_retries =
+        reg.counter("fault.serving.batch_retries");
+    static obs::Counter &c_f_failed_batches =
+        reg.counter("fault.serving.failed_batches");
+    static obs::Counter &c_f_failed_requests =
+        reg.counter("fault.serving.failed_requests");
+    static obs::Counter &c_f_timeouts =
+        reg.counter("fault.serving.deadline_timeouts");
+    static obs::Counter &c_f_degraded =
+        reg.counter("fault.serving.degraded_batches");
+    static obs::Gauge &g_f_avail =
+        reg.gauge("fault.serving.availability");
 
     // Generate Poisson arrivals across the horizon.
     Rng rng(config.seed);
@@ -133,45 +186,109 @@ ServingSimulator::simulate(const ServingConfig &config) const
                 padded <<= 1;
             shape_batch = std::min(padded, config.max_batch);
         }
-        const double service = batchLatency(shape_batch, config.policy);
+        const double base_service =
+            batchLatency(shape_batch, config.policy);
+
+        // Per-batch fault outcome: the initial attempt runs at full
+        // speed; each retry re-executes on the degraded (remapped)
+        // engine after a capped exponential backoff. Draws key on the
+        // batch index so rate sweeps see coupled (monotonic) outcomes.
+        double service = base_service;
+        bool served = true;
+        std::size_t retries_this_batch = 0;
+        if (config.faults.enabled()) {
+            served = false;
+            service = 0.0;
+            const std::uint64_t batch_idx = stats.batches;
+            for (std::size_t attempt = 0;
+                 attempt <= config.faults.max_retries; ++attempt) {
+                service += attempt == 0
+                               ? base_service
+                               : base_service *
+                                     config.faults.degraded_service_factor;
+                const double u = faultHashUniform(
+                    config.faults.seed, kServingBatchStream, batch_idx,
+                    attempt);
+                if (u >= config.faults.batch_fault_rate) {
+                    served = true;
+                    break;
+                }
+                if (attempt == config.faults.max_retries)
+                    break; // retries exhausted: the batch is lost
+                ++retries_this_batch;
+                service += config.faults.backoffFor(attempt);
+            }
+            stats.batch_retries += retries_this_batch;
+        }
+
         const double done = now + service;
         for (std::size_t i = 0; i < batch; ++i) {
-            latencies.push_back(done - queue.front());
-            h_latency.record(done - queue.front());
+            const double lat = done - queue.front();
             queue.pop_front();
+            if (!served) {
+                ++stats.failed_requests;
+                continue;
+            }
+            ++stats.completed;
+            latencies.push_back(lat);
+            h_latency.record(lat);
+            if (config.deadline_s > 0.0 && lat > config.deadline_s)
+                ++stats.timed_out;
         }
         busy += service;
         batch_size_sum += static_cast<double>(batch);
         ++stats.batches;
+        if (!served)
+            ++stats.failed_batches;
+        else if (retries_this_batch > 0)
+            ++stats.degraded_batches;
         now = done;
     }
 
-    std::sort(latencies.begin(), latencies.end());
-    auto percentile = [&](double p) {
-        const std::size_t idx = static_cast<std::size_t>(
-            p * static_cast<double>(latencies.size() - 1));
-        return latencies[idx];
-    };
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        auto percentile = [&](double p) {
+            const std::size_t idx = static_cast<std::size_t>(
+                p * static_cast<double>(latencies.size() - 1));
+            return latencies[idx];
+        };
 
-    double sum = 0.0;
-    for (double l : latencies)
-        sum += l;
+        double sum = 0.0;
+        for (double l : latencies)
+            sum += l;
 
+        stats.mean_latency_s =
+            sum / static_cast<double>(latencies.size());
+        stats.p50_latency_s = percentile(0.50);
+        stats.p95_latency_s = percentile(0.95);
+        stats.p99_latency_s = percentile(0.99);
+    }
+
+    const std::size_t in_deadline = stats.completed - stats.timed_out;
     stats.mean_batch_size =
         batch_size_sum / static_cast<double>(stats.batches);
     stats.throughput_rps =
         static_cast<double>(latencies.size()) / std::max(now, 1e-9);
-    stats.mean_latency_s = sum / static_cast<double>(latencies.size());
-    stats.p50_latency_s = percentile(0.50);
-    stats.p95_latency_s = percentile(0.95);
-    stats.p99_latency_s = percentile(0.99);
+    stats.goodput_rps =
+        static_cast<double>(in_deadline) / std::max(now, 1e-9);
     stats.utilization = busy / std::max(now, 1e-9);
+    stats.availability = static_cast<double>(in_deadline) /
+                         static_cast<double>(stats.requests);
 
     c_requests.add(stats.requests);
     c_batches.add(stats.batches);
     g_util.set(stats.utilization);
+    c_f_retries.add(stats.batch_retries);
+    c_f_failed_batches.add(stats.failed_batches);
+    c_f_failed_requests.add(stats.failed_requests);
+    c_f_timeouts.add(stats.timed_out);
+    c_f_degraded.add(stats.degraded_batches);
+    g_f_avail.set(stats.availability);
     span.attr("requests", static_cast<std::uint64_t>(stats.requests));
     span.attr("p99_s", stats.p99_latency_s);
+    span.attr("availability", stats.availability);
+    span.attr("batch_retries",
+              static_cast<std::uint64_t>(stats.batch_retries));
     return stats;
 }
 

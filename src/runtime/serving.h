@@ -9,6 +9,14 @@
  * a deadline, and per-batch latency comes from the engine's estimate.
  * Outputs are the serving metrics an operator cares about: throughput,
  * latency percentiles, mean batch size, and device utilization.
+ *
+ * The simulator also carries failure semantics: a per-batch fault
+ * profile (seed-deterministic, sharing src/fault's counter-based hash)
+ * can fail dispatch attempts, which are retried with capped exponential
+ * backoff on a degraded (remapped) engine; exhausted retries fail the
+ * batch, per-request deadlines convert late completions into timeouts,
+ * and the stats report availability and degraded goodput alongside the
+ * fault-free metrics.
  */
 
 #ifndef PIMDL_RUNTIME_SERVING_H
@@ -19,6 +27,45 @@
 #include "runtime/engine.h"
 
 namespace pimdl {
+
+/**
+ * Per-batch fault semantics of the serving loop. Batch outcomes are
+ * drawn by a counter-based hash of (seed, batch index, attempt), so a
+ * sweep over batch_fault_rate sees coupled draws: raising the rate can
+ * only add faults, which keeps availability/retry curves monotonic.
+ */
+struct ServingFaultProfile
+{
+    /** Per dispatch-attempt probability the batch execution fails. */
+    double batch_fault_rate = 0.0;
+    /**
+     * Service-time multiplier for retry attempts: the re-execution runs
+     * on the degraded engine (tiles remapped around the fault).
+     */
+    double degraded_service_factor = 1.5;
+    /** Retries allowed per batch after the initial attempt. */
+    std::size_t max_retries = 3;
+    /** Backoff before the first retry, seconds. */
+    double backoff_base_s = 2e-3;
+    /** Backoff ceiling, seconds. */
+    double backoff_cap_s = 64e-3;
+    /** Root of the per-batch outcome draws. */
+    std::uint64_t seed = 0xfa0175ULL;
+
+    bool enabled() const { return batch_fault_rate > 0.0; }
+
+    /** Backoff before retry number @p retry (0-based), seconds. */
+    double backoffFor(std::size_t retry) const
+    {
+        double b = backoff_base_s;
+        for (std::size_t i = 0; i < retry && b < backoff_cap_s; ++i)
+            b *= 2.0;
+        return b < backoff_cap_s ? b : backoff_cap_s;
+    }
+
+    /** Throws std::runtime_error on nonsensical parameters. */
+    void validate() const;
+};
 
 /** Workload and policy of one serving simulation. */
 struct ServingConfig
@@ -40,6 +87,16 @@ struct ServingConfig
      */
     bool pow2_buckets = true;
     std::uint64_t seed = 1;
+    /**
+     * Per-request completion deadline, seconds; requests served later
+     * count as timeouts against availability. 0 disables the deadline.
+     */
+    double deadline_s = 0.0;
+    /** Per-batch fault semantics (disabled by default). */
+    ServingFaultProfile faults;
+
+    /** Throws std::runtime_error with a field-naming message when bad. */
+    void validate() const;
 };
 
 /** Aggregate metrics of a simulation run. */
@@ -57,6 +114,24 @@ struct ServingStats
     double p99_latency_s = 0.0;
     /** Fraction of the horizon the engine spent serving. */
     double utilization = 0.0;
+
+    // Failure accounting (all zero when the fault profile is disabled).
+    /** Requests whose batch eventually executed. */
+    std::size_t completed = 0;
+    /** Requests lost to batches that exhausted their retries. */
+    std::size_t failed_requests = 0;
+    /** Requests served after the deadline_s budget. */
+    std::size_t timed_out = 0;
+    /** Dispatch attempts that were retried after a batch fault. */
+    std::size_t batch_retries = 0;
+    /** Batches that exhausted retries and were dropped. */
+    std::size_t failed_batches = 0;
+    /** Batches that completed but needed at least one retry. */
+    std::size_t degraded_batches = 0;
+    /** Requests served within deadline / total requests. */
+    double availability = 1.0;
+    /** Deadline-meeting completions per second (degraded throughput). */
+    double goodput_rps = 0.0;
 };
 
 /**

@@ -115,5 +115,90 @@ TEST(Serialize, MissingFileThrows)
                  std::runtime_error);
 }
 
+TEST(Serialize, TruncationAtEveryOffsetThrows)
+{
+    LutLayer layer = makeLayer(9, true, true);
+    std::stringstream buffer;
+    saveLutLayer(buffer, layer);
+    const std::string full = buffer.str();
+    ASSERT_GT(full.size(), 24u); // header + payload
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        std::stringstream cut(full.substr(0, len));
+        EXPECT_THROW(loadLutLayer(cut), std::runtime_error)
+            << "prefix of " << len << " bytes parsed";
+    }
+}
+
+TEST(Serialize, BundleTruncationInHeaderThrows)
+{
+    LutModelBundle bundle;
+    bundle.layers.emplace_back("layer-a", makeLayer(10, false, false));
+    std::stringstream buffer;
+    saveLutModel(buffer, bundle);
+    const std::string full = buffer.str();
+    // Magic, version, count, name length, name: every prefix rejects.
+    for (std::size_t len = 0; len < 19; ++len) {
+        std::stringstream cut(full.substr(0, len));
+        EXPECT_THROW(loadLutModel(cut), std::runtime_error) << len;
+    }
+}
+
+TEST(Serialize, CorruptedHeaderBytesNeverCrash)
+{
+    LutModelBundle bundle;
+    bundle.layers.emplace_back("l", makeLayer(11, true, true));
+    std::stringstream buffer;
+    saveLutModel(buffer, bundle);
+    const std::string full = buffer.str();
+    // Stress the whole fixed header region: magic, version, count,
+    // name, layer dims and flags. Each flip must either parse (benign)
+    // or raise std::runtime_error -- never crash or over-allocate.
+    const std::size_t header = std::min<std::size_t>(full.size(), 48);
+    for (std::size_t off = 0; off < header; ++off) {
+        for (unsigned flip : {0x01u, 0x80u, 0xffu}) {
+            std::string bad = full;
+            bad[off] = static_cast<char>(
+                static_cast<unsigned char>(bad[off]) ^ flip);
+            std::stringstream in(bad);
+            try {
+                const LutModelBundle loaded = loadLutModel(in);
+                (void)loaded;
+            } catch (const std::runtime_error &) {
+                // Descriptive rejection is the expected outcome.
+            }
+        }
+    }
+}
+
+TEST(Serialize, RejectsOversizedHeaderFields)
+{
+    // Hand-built header with a huge input_dim: the loader must bound
+    // the field before allocating anything.
+    std::stringstream buffer;
+    const auto put = [&](std::uint32_t v) {
+        buffer.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+    put(0xffffffffu); // input_dim way past the sanity ceiling
+    put(10);
+    put(3);
+    put(8);
+    put(0);
+    put(0);
+    EXPECT_THROW(loadLutLayer(buffer), std::runtime_error);
+
+    // A malformed flag (not 0/1) is rejected too.
+    std::stringstream flags;
+    const auto put2 = [&](std::uint32_t v) {
+        flags.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+    put2(12);
+    put2(10);
+    put2(3);
+    put2(8);
+    put2(2); // quantized flag must be 0 or 1
+    put2(0);
+    EXPECT_THROW(loadLutLayer(flags), std::runtime_error);
+}
+
 } // namespace
 } // namespace pimdl

@@ -138,5 +138,136 @@ TEST_F(ServingTest, RejectsBadConfig)
     EXPECT_THROW(sim_.simulate(cfg), std::runtime_error);
 }
 
+TEST_F(ServingTest, RejectsBadConfigFields)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = -3.0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = ServingConfig{};
+    cfg.horizon_s = 0.0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = ServingConfig{};
+    cfg.deadline_s = -1.0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = ServingConfig{};
+    cfg.max_wait_s = -0.5;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    EXPECT_NO_THROW(ServingConfig{}.validate());
+}
+
+TEST_F(ServingTest, RejectsBadFaultProfile)
+{
+    ServingConfig cfg;
+    cfg.faults.batch_fault_rate = 1.5;
+    EXPECT_THROW(sim_.simulate(cfg), std::runtime_error);
+    cfg = ServingConfig{};
+    cfg.faults.degraded_service_factor = 0.5;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = ServingConfig{};
+    cfg.faults.backoff_cap_s = cfg.faults.backoff_base_s / 4.0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST_F(ServingTest, ZeroFaultRateLeavesStatsUnchanged)
+{
+    ServingConfig base;
+    base.arrival_rate = 20.0;
+    base.max_batch = 8;
+    base.horizon_s = 30.0;
+    ServingConfig zeroed = base;
+    zeroed.faults.batch_fault_rate = 0.0; // explicit no-op profile
+    const ServingStats a = sim_.simulate(base);
+    const ServingStats b = sim_.simulate(zeroed);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+    EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+    EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+    // Fault-free accounting: every request completes, full availability.
+    EXPECT_EQ(a.completed, a.requests);
+    EXPECT_EQ(a.failed_requests, 0u);
+    EXPECT_EQ(a.batch_retries, 0u);
+    EXPECT_DOUBLE_EQ(a.availability, 1.0);
+    EXPECT_DOUBLE_EQ(a.goodput_rps, a.throughput_rps);
+}
+
+TEST_F(ServingTest, FaultStatsDeterministicForProfile)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = 20.0;
+    cfg.max_batch = 8;
+    cfg.horizon_s = 30.0;
+    cfg.faults.batch_fault_rate = 0.3;
+    const ServingStats a = sim_.simulate(cfg);
+    const ServingStats b = sim_.simulate(cfg);
+    EXPECT_EQ(a.batch_retries, b.batch_retries);
+    EXPECT_EQ(a.failed_batches, b.failed_batches);
+    EXPECT_EQ(a.failed_requests, b.failed_requests);
+    EXPECT_EQ(a.degraded_batches, b.degraded_batches);
+    EXPECT_DOUBLE_EQ(a.availability, b.availability);
+    EXPECT_DOUBLE_EQ(a.goodput_rps, b.goodput_rps);
+    // The profile injects real faults at this rate.
+    EXPECT_GT(a.batch_retries, 0u);
+    // Conservation: every request either completed or rode a batch
+    // that exhausted its retries.
+    EXPECT_EQ(a.completed + a.failed_requests, a.requests);
+    EXPECT_LT(a.availability, 1.0 + 1e-12);
+}
+
+TEST_F(ServingTest, FaultStatsPinnedUnderFixedProfile)
+{
+    // Golden values for one fixed workload + fault profile: any change
+    // to the draw streams, retry ladder, or accounting shows up here.
+    ServingConfig cfg;
+    cfg.arrival_rate = 20.0;
+    cfg.max_batch = 8;
+    cfg.horizon_s = 30.0;
+    cfg.deadline_s = 5.0;
+    cfg.faults.batch_fault_rate = 0.3;
+    const ServingStats s = sim_.simulate(cfg);
+    EXPECT_EQ(s.requests, 629u);
+    EXPECT_EQ(s.batches, 79u);
+    EXPECT_EQ(s.batch_retries, 23u);
+    EXPECT_EQ(s.failed_batches, 1u);
+    EXPECT_EQ(s.failed_requests, 8u);
+    EXPECT_EQ(s.degraded_batches, 16u);
+    EXPECT_NEAR(s.availability, 0.18282988871224165, 1e-9);
+}
+
+TEST_F(ServingTest, AvailabilityDegradesMonotonicallyWithFaultRate)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = 20.0;
+    cfg.max_batch = 8;
+    cfg.horizon_s = 30.0;
+    cfg.deadline_s = 5.0;
+    double prev_avail = 1.0 + 1e-12;
+    std::size_t prev_retries = 0;
+    for (double rate : {0.0, 0.15, 0.3, 0.6}) {
+        cfg.faults.batch_fault_rate = rate;
+        const ServingStats stats = sim_.simulate(cfg);
+        EXPECT_LE(stats.availability, prev_avail) << "rate " << rate;
+        EXPECT_GE(stats.batch_retries, prev_retries) << "rate " << rate;
+        prev_avail = stats.availability;
+        prev_retries = stats.batch_retries;
+    }
+}
+
+TEST_F(ServingTest, DeadlineConvertsLateRequestsToTimeouts)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate = 20.0;
+    cfg.max_batch = 8;
+    cfg.horizon_s = 30.0;
+    const ServingStats unbounded = sim_.simulate(cfg);
+    ASSERT_GT(unbounded.p99_latency_s, 0.0);
+    // A deadline below the observed median must time out a big chunk.
+    cfg.deadline_s = unbounded.p50_latency_s * 0.5;
+    const ServingStats bounded = sim_.simulate(cfg);
+    EXPECT_GT(bounded.timed_out, 0u);
+    EXPECT_LT(bounded.availability, 1.0);
+    EXPECT_LT(bounded.goodput_rps, bounded.throughput_rps);
+}
+
 } // namespace
 } // namespace pimdl
