@@ -18,6 +18,7 @@
 
 #include "obs/snapshot.h"
 #include "plan/schedule.h"
+#include "verify/verify.h"
 
 namespace pimdl {
 namespace bench {
@@ -43,6 +44,9 @@ struct BenchOptions
     std::string trace_out;
     /** Reduced workload for CI smoke runs. */
     bool smoke = false;
+    /** Run the plan verifier on every lowered plan (--verify-plans;
+     * also enabled by the PIMDL_VERIFY_PLANS environment variable). */
+    bool verify_plans = false;
 };
 
 /**
@@ -131,7 +135,7 @@ parseBenchArgs(int argc, char **argv,
     BenchOptions opts;
     const auto usage = [&](std::ostream &out) {
         out << "usage: " << argv[0]
-            << " [--smoke] [--metrics-out <file>]"
+            << " [--smoke] [--verify-plans] [--metrics-out <file>]"
                " [--trace-out <file>]"
             << extra_usage << "\n";
     };
@@ -145,6 +149,9 @@ parseBenchArgs(int argc, char **argv,
             opts.trace_out = argv[++i];
         } else if (arg == "--smoke") {
             opts.smoke = true;
+        } else if (arg == "--verify-plans") {
+            opts.verify_plans = true;
+            verify::setVerifyPlansEnabled(true);
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             std::exit(0);

@@ -8,10 +8,16 @@ PR relies on (per-role CCS/LUT split, serving latency percentiles,
 tuner search counters).
 
 Usage: check_metrics.py <snapshot.json> [--require-fault-exec]
+                        [--require-verify]
 
 --require-fault-exec additionally requires the fault.lut.* /
 fault.injected.* execution-ladder keys, which only appear when a bench
 actually drove the fault-aware executor (bench_fault_tolerance).
+
+--require-verify additionally requires the verify.* pass-accounting
+keys, which only appear when the run had plan verification enabled
+(--verify-plans / PIMDL_VERIFY_PLANS=1), and fails if any verifier
+pass reported an error on a lowered plan.
 """
 
 import json
@@ -51,6 +57,15 @@ FAULT_EXEC_COUNTERS = [
 ]
 FAULT_EXEC_HISTOGRAMS = ["fault.lut.added_latency_s"]
 
+# Only present when plan verification ran (PIMDL_VERIFY_PLANS=1).
+VERIFY_COUNTERS = [
+    "verify.plans_verified",
+    "verify.passes_run",
+    "verify.diagnostics",
+    "verify.errors",
+]
+VERIFY_HISTOGRAMS = ["verify.wall_s"]
+
 # Regexes so the check survives role renames/additions as long as the
 # per-role split itself is still published.
 REQUIRED_GAUGE_PATTERNS = [
@@ -81,9 +96,13 @@ def fail(message):
 def main():
     args = sys.argv[1:]
     require_fault_exec = "--require-fault-exec" in args
-    args = [a for a in args if a != "--require-fault-exec"]
+    require_verify = "--require-verify" in args
+    args = [a for a in args if not a.startswith("--require-")]
     if len(args) != 1:
-        fail(f"usage: {sys.argv[0]} <snapshot.json> [--require-fault-exec]")
+        fail(
+            f"usage: {sys.argv[0]} <snapshot.json> "
+            "[--require-fault-exec] [--require-verify]"
+        )
 
     try:
         with open(args[0]) as fh:
@@ -126,6 +145,25 @@ def main():
                 fail(f"missing fault-exec histogram {name!r}")
             if hist["count"] == 0:
                 fail(f"histogram {name!r} recorded no samples")
+
+    if require_verify:
+        for name in VERIFY_COUNTERS:
+            if name not in snap["counters"]:
+                fail(f"missing verify counter {name!r}")
+        for name in VERIFY_HISTOGRAMS:
+            hist = snap["histograms"].get(name)
+            if hist is None:
+                fail(f"missing verify histogram {name!r}")
+            if hist["count"] == 0:
+                fail(f"histogram {name!r} recorded no samples")
+        if snap["counters"]["verify.plans_verified"] == 0:
+            fail("verification enabled but no plans were verified")
+        if snap["counters"]["verify.errors"] != 0:
+            fail(
+                "verifier reported "
+                f"{snap['counters']['verify.errors']} error(s) on "
+                "lowered plans"
+            )
 
     # Sanity: the serving percentiles must be ordered and positive.
     serving = snap["histograms"]["serving.request_latency_s"]

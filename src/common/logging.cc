@@ -1,8 +1,9 @@
 #include "logging.h"
 
 #include <iostream>
-#include <mutex>
 #include <stdexcept>
+
+#include "thread_annotations.h"
 
 namespace pimdl {
 
@@ -26,10 +27,12 @@ levelName(LogLevel level)
     return "?";
 }
 
-std::mutex &
+/** Serializes writes to std::cerr across concurrently logging
+ * threads (the stream itself is the guarded resource). */
+Mutex &
 emitMutex()
 {
-    static std::mutex mutex;
+    static Mutex mutex;
     return mutex;
 }
 
@@ -47,7 +50,7 @@ Logger::emit(LogLevel level, const std::string &message)
 {
     if (static_cast<int>(level) < static_cast<int>(level_))
         return;
-    std::lock_guard<std::mutex> guard(emitMutex());
+    MutexLock guard(emitMutex());
     std::cerr << "[pimdl:" << levelName(level) << "] " << message << "\n";
 }
 

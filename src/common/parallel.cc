@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "thread_annotations.h"
 
 namespace pimdl {
 
@@ -20,6 +20,29 @@ secondsSince(const std::chrono::steady_clock::time_point &start)
                std::chrono::steady_clock::now() - start)
         .count();
 }
+
+/** First exception thrown by any worker, kept under its own lock so
+ * the thread-safety analysis can check the cross-thread handoff. */
+struct ErrorSlot
+{
+    Mutex mu;
+    std::exception_ptr first PIMDL_GUARDED_BY(mu);
+
+    void
+    capture() PIMDL_EXCLUDES(mu)
+    {
+        MutexLock guard(mu);
+        if (!first)
+            first = std::current_exception();
+    }
+
+    std::exception_ptr
+    take() PIMDL_EXCLUDES(mu)
+    {
+        MutexLock guard(mu);
+        return first;
+    }
+};
 
 } // namespace
 
@@ -62,8 +85,7 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
 
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    ErrorSlot error;
     std::vector<double> busy_s(workers, 0.0);
     const auto wall_start = std::chrono::steady_clock::now();
 
@@ -79,9 +101,7 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
                 for (std::size_t i = begin; i < end; ++i)
                     body(i);
             } catch (...) {
-                std::lock_guard<std::mutex> guard(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
+                error.capture();
             }
             busy_s[w] = secondsSince(start);
         });
@@ -101,8 +121,8 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
                                                    pool.size()))));
     }
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+    if (std::exception_ptr first = error.take())
+        std::rethrow_exception(first);
 }
 
 } // namespace pimdl

@@ -119,8 +119,11 @@ FaultInjector::FaultInjector(FaultConfig config) : config_(config)
 bool
 FaultInjector::peHardFailed(std::size_t pe) const
 {
-    if (forced_failed_.count(pe) != 0)
-        return true;
+    {
+        MutexLock lock(forced_mu_);
+        if (forced_failed_.count(pe) != 0)
+            return true;
+    }
     if (config_.pe_hard_fail_rate <= 0.0)
         return false;
     return faultHashUniform(config_.seed, kStreamHardFail, pe, 0) <
@@ -186,6 +189,7 @@ FaultInjector::corruptionTarget(std::uint64_t epoch, std::size_t pe,
 void
 FaultInjector::forceFailPe(std::size_t pe)
 {
+    MutexLock lock(forced_mu_);
     forced_failed_.insert(pe);
 }
 

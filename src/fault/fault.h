@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <set>
 
+#include "common/thread_annotations.h"
+
 namespace pimdl {
 
 /** The injectable fault event taxonomy. */
@@ -162,7 +164,7 @@ class FaultInjector
     const FaultConfig &config() const { return config_; }
 
     /** Permanently dead PE (rate draw or explicit kill)? */
-    bool peHardFailed(std::size_t pe) const;
+    bool peHardFailed(std::size_t pe) const PIMDL_EXCLUDES(forced_mu_);
 
     /** Transient crash of @p pe on this (epoch, attempt)? */
     bool transientCrash(std::uint64_t epoch, std::size_t pe,
@@ -186,14 +188,17 @@ class FaultInjector
                                  std::size_t slots) const;
 
     /** Marks a PE permanently dead (tests, operator drain). */
-    void forceFailPe(std::size_t pe);
+    void forceFailPe(std::size_t pe) PIMDL_EXCLUDES(forced_mu_);
 
     /** Distinguishes consecutive kernel launches (thread-safe). */
     std::uint64_t nextEpoch() const;
 
   private:
     FaultConfig config_;
-    std::set<std::size_t> forced_failed_;
+    /** Guards forced_failed_: operator drains (forceFailPe) may race
+     * concurrent PE-liveness queries from parallelFor workers. */
+    mutable Mutex forced_mu_;
+    std::set<std::size_t> forced_failed_ PIMDL_GUARDED_BY(forced_mu_);
     mutable std::atomic<std::uint64_t> epoch_{0};
 };
 

@@ -19,7 +19,7 @@ Histogram::Histogram(std::size_t capacity)
 void
 Histogram::record(double sample)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     if (count_ == 0) {
         min_ = sample;
         max_ = sample;
@@ -57,14 +57,14 @@ Histogram::percentileLocked(std::vector<double> sorted, double p) const
 double
 Histogram::percentile(double p) const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return percentileLocked(samples_, p);
 }
 
 HistogramSnapshot
 Histogram::snapshot() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     HistogramSnapshot s;
     s.count = count_;
     s.sum = sum_;
@@ -91,14 +91,14 @@ Histogram::snapshot() const
 std::uint64_t
 Histogram::count() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return count_;
 }
 
 void
 Histogram::reset()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     samples_.clear();
     count_ = 0;
     sum_ = 0.0;
@@ -132,7 +132,7 @@ requireUnclaimed(const std::map<std::string, std::unique_ptr<Counter>> &a,
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     auto it = counters_.find(name);
     if (it == counters_.end()) {
         requireUnclaimed({}, gauges_, histograms_, name);
@@ -144,7 +144,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
         requireUnclaimed(counters_, {}, histograms_, name);
@@ -156,7 +156,7 @@ MetricsRegistry::gauge(const std::string &name)
 Histogram &
 MetricsRegistry::histogram(const std::string &name)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         requireUnclaimed(counters_, gauges_, {}, name);
@@ -168,7 +168,7 @@ MetricsRegistry::histogram(const std::string &name)
 std::vector<std::pair<std::string, std::uint64_t>>
 MetricsRegistry::counters() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     std::vector<std::pair<std::string, std::uint64_t>> out;
     out.reserve(counters_.size());
     for (const auto &[name, c] : counters_)
@@ -179,7 +179,7 @@ MetricsRegistry::counters() const
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::gauges() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     std::vector<std::pair<std::string, double>> out;
     out.reserve(gauges_.size());
     for (const auto &[name, g] : gauges_)
@@ -190,7 +190,7 @@ MetricsRegistry::gauges() const
 std::vector<std::pair<std::string, HistogramSnapshot>>
 MetricsRegistry::histograms() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     std::vector<std::pair<std::string, HistogramSnapshot>> out;
     out.reserve(histograms_.size());
     for (const auto &[name, h] : histograms_)
@@ -201,7 +201,7 @@ MetricsRegistry::histograms() const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     for (auto &[name, c] : counters_)
         c->reset();
     for (auto &[name, g] : gauges_)

@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace pimdl {
 namespace obs {
@@ -118,16 +119,16 @@ class Histogram
     void reset();
 
   private:
-    /** Requires mutex_ held. */
+    /** Percentile over an already-extracted sample copy. */
     double percentileLocked(std::vector<double> sorted, double p) const;
 
-    mutable std::mutex mutex_;
-    std::vector<double> samples_;
+    mutable Mutex mutex_;
+    std::vector<double> samples_ PIMDL_GUARDED_BY(mutex_);
     std::size_t capacity_;
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
+    std::uint64_t count_ PIMDL_GUARDED_BY(mutex_) = 0;
+    double sum_ PIMDL_GUARDED_BY(mutex_) = 0.0;
+    double min_ PIMDL_GUARDED_BY(mutex_) = 0.0;
+    double max_ PIMDL_GUARDED_BY(mutex_) = 0.0;
 };
 
 /**
@@ -166,10 +167,13 @@ class MetricsRegistry
   private:
     MetricsRegistry() = default;
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        PIMDL_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        PIMDL_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        PIMDL_GUARDED_BY(mutex_);
 };
 
 } // namespace obs

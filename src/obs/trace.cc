@@ -24,7 +24,7 @@ Tracer::instance()
 void
 Tracer::setCapacity(std::size_t capacity)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     capacity_ = capacity == 0 ? 1 : capacity;
     ring_.clear();
     ring_.reserve(std::min<std::size_t>(capacity_, 4096));
@@ -35,7 +35,7 @@ Tracer::setCapacity(std::size_t capacity)
 std::size_t
 Tracer::capacity() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return capacity_;
 }
 
@@ -44,7 +44,7 @@ Tracer::record(TraceEvent event)
 {
     if (!enabled_.load(std::memory_order_relaxed))
         return;
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     if (ring_.size() < capacity_) {
         ring_.push_back(std::move(event));
     } else {
@@ -57,7 +57,7 @@ Tracer::record(TraceEvent event)
 std::vector<TraceEvent>
 Tracer::events() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     std::vector<TraceEvent> out;
     out.reserve(ring_.size());
     // head_ is the oldest slot once the ring has wrapped.
@@ -69,21 +69,21 @@ Tracer::events() const
 std::uint64_t
 Tracer::recorded() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return total_;
 }
 
 std::uint64_t
 Tracer::dropped() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 void
 Tracer::clear()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     ring_.clear();
     head_ = 0;
     total_ = 0;

@@ -18,10 +18,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace pimdl {
 namespace obs {
@@ -78,11 +79,11 @@ class Tracer
   private:
     Tracer();
 
-    mutable std::mutex mutex_;
-    std::vector<TraceEvent> ring_;
-    std::size_t capacity_ = kDefaultCapacity;
-    std::size_t head_ = 0;
-    std::uint64_t total_ = 0;
+    mutable Mutex mutex_;
+    std::vector<TraceEvent> ring_ PIMDL_GUARDED_BY(mutex_);
+    std::size_t capacity_ PIMDL_GUARDED_BY(mutex_) = kDefaultCapacity;
+    std::size_t head_ PIMDL_GUARDED_BY(mutex_) = 0;
+    std::uint64_t total_ PIMDL_GUARDED_BY(mutex_) = 0;
     std::chrono::steady_clock::time_point epoch_;
     std::atomic<bool> enabled_{true};
 };

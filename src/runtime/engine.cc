@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tuner/cost_model.h"
+#include "verify/verify.h"
 
 namespace pimdl {
 
@@ -155,6 +156,13 @@ PimDlEngine::costNode(const Plan &plan, const PlanNode &node) const
 CostedPlan
 PimDlEngine::cost(const Plan &plan) const
 {
+    // Lowering validates the structural graph, but mapping attachment
+    // mutates nodes afterwards — re-validate every plan entering the
+    // cost model, and run the full verifier pipeline when enabled.
+    plan.validate();
+    if (verify::verifyPlansEnabled())
+        verify::verifyPlanOrThrow(plan, &platform_);
+
     CostedPlan costed;
     costed.plan = plan;
     costed.costs.reserve(plan.nodes.size());
@@ -190,6 +198,11 @@ PimDlEngine::estimate(const TransformerConfig &model,
     obs::MetricsRegistry::instance()
         .counter("plan.nodes_scheduled")
         .add(plan.nodes.size());
+    if (verify::verifyPlansEnabled()) {
+        verify::requireClean(verify::verifyScheduleResult(
+                                 costed, scheduled, scheduler.policy()),
+                             "schedule verification");
+    }
 
     InferenceEstimate est = std::move(scheduled.estimate);
     switch (mode) {
@@ -346,6 +359,13 @@ estimateHostInference(const HostProcessorConfig &host,
 
     ScheduleResult scheduled =
         schedulerFor(SchedulePolicy::Sequential).schedule(costed);
+    if (verify::verifyPlansEnabled()) {
+        verify::verifyPlanOrThrow(plan);
+        verify::requireClean(
+            verify::verifyScheduleResult(costed, scheduled,
+                                         SchedulePolicy::Sequential),
+            "schedule verification");
+    }
     InferenceEstimate est = std::move(scheduled.estimate);
     est.label = host.name + "(" + hostDtypeLabel(dtype) + ")";
     est.energy.host_joules = host.power_w * est.total_s;

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/schedule.h"
+#include "verify/verify.h"
 
 namespace pimdl {
 
@@ -211,6 +212,12 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
                 return result;
             }
             result.fault.degraded_waves = remap.waves;
+            if (verify::verifyPlansEnabled()) {
+                verify::requireClean(
+                    verify::verifyDegradedRemap(shape, mapping, failed,
+                                                remap),
+                    "degraded remap verification");
+            }
         }
 
         // One epoch per kernel launch: consecutive executions see fresh

@@ -64,7 +64,7 @@ ServingSimulator::batchLatency(std::size_t batch,
     PIMDL_REQUIRE(batch > 0, "batch must be positive");
     const auto key = std::make_pair(batch, policy);
     {
-        std::lock_guard<std::mutex> lock(cache_mu_);
+        MutexLock lock(cache_mu_);
         const auto it = latency_cache_.find(key);
         if (it != latency_cache_.end())
             return it->second;
@@ -77,7 +77,7 @@ ServingSimulator::batchLatency(std::size_t batch,
     const InferenceEstimate est =
         engine_.estimate(cfg, params_, ExecutionMode::PimDl,
                          schedulerFor(policy));
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     return latency_cache_.emplace(key, est.total_s).first->second;
 }
 

@@ -22,8 +22,9 @@
 #ifndef PIMDL_RUNTIME_SERVING_H
 #define PIMDL_RUNTIME_SERVING_H
 
-#include <mutex>
+#include <map>
 
+#include "common/thread_annotations.h"
 #include "runtime/engine.h"
 
 namespace pimdl {
@@ -152,17 +153,18 @@ class ServingSimulator
      * Engine latency for a given batch size under a scheduling policy
      * (memoized per instance; safe to call concurrently).
      */
-    double batchLatency(std::size_t batch, SchedulePolicy policy) const;
+    double batchLatency(std::size_t batch, SchedulePolicy policy) const
+        PIMDL_EXCLUDES(cache_mu_);
 
   private:
     const PimDlEngine &engine_;
     TransformerConfig model_;
     LutNnParams params_;
     /** Guards latency_cache_ (sweeps probe batches in parallel). */
-    mutable std::mutex cache_mu_;
+    mutable Mutex cache_mu_;
     /** Memoized per (batch, policy) latency. */
     mutable std::map<std::pair<std::size_t, SchedulePolicy>, double>
-        latency_cache_;
+        latency_cache_ PIMDL_GUARDED_BY(cache_mu_);
 };
 
 } // namespace pimdl

@@ -147,6 +147,21 @@ mappingIsLegal(const PimPlatformConfig &platform,
     if (mappingBufferBytes(platform, shape, mapping) >
         static_cast<double>(platform.pe_buffer_bytes))
         return fail("tiles exceed the PE on-chip buffer");
+
+    // Bank residency: the per-PE sub-LUT tile plus the index and
+    // output slices it streams through must fit in the PE's local
+    // memory (UPMEM MRAM / HBM-PIM and AiM bank region), regardless
+    // of the on-chip load scheme. Binds on HBM-PIM, where fp16 LUT
+    // entries make wide fs_tile slices outgrow the 16 MB bank.
+    const double resident =
+        static_cast<double>(shape.cb) * shape.ct * mapping.fs_tile *
+            platform.lut_dtype_bytes +
+        static_cast<double>(mapping.ns_tile) * shape.cb *
+            shape.index_dtype_bytes +
+        static_cast<double>(mapping.ns_tile) * mapping.fs_tile *
+            shape.output_dtype_bytes;
+    if (resident > static_cast<double>(platform.pe_local_mem_bytes))
+        return fail("resident working set exceeds the PE local memory");
     return true;
 }
 

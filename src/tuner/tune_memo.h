@@ -13,8 +13,8 @@
 #define PIMDL_TUNER_TUNE_MEMO_H
 
 #include <map>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "tuner/autotuner.h"
 
 namespace pimdl {
@@ -35,10 +35,10 @@ class TuneMemo
      * for the memo's lifetime (map nodes are never erased).
      */
     const AutoTuneResult &
-    tune(const LutWorkloadShape &shape) const
+    tune(const LutWorkloadShape &shape) const PIMDL_EXCLUDES(mu_)
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             const auto it = cache_.find(shape);
             if (it != cache_.end())
                 return it->second;
@@ -47,15 +47,15 @@ class TuneMemo
         // shapes tune in parallel; duplicate work on the same shape is
         // deterministic, and emplace keeps the first inserted result.
         AutoTuneResult result = tuner_.tune(shape);
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return cache_.emplace(shape, std::move(result)).first->second;
     }
 
     /** Number of distinct shapes tuned so far. */
     std::size_t
-    size() const
+    size() const PIMDL_EXCLUDES(mu_)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return cache_.size();
     }
 
@@ -63,8 +63,9 @@ class TuneMemo
 
   private:
     const AutoTuner &tuner_;
-    mutable std::mutex mu_;
-    mutable std::map<LutWorkloadShape, AutoTuneResult> cache_;
+    mutable Mutex mu_;
+    mutable std::map<LutWorkloadShape, AutoTuneResult> cache_
+        PIMDL_GUARDED_BY(mu_);
 };
 
 } // namespace pimdl

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Verifier-pass tests: the default pipeline accepts every tuned plan
+ * the engine lowers for the paper's models and platforms, and — the
+ * load-bearing part — each pass rejects a plan corrupted in exactly
+ * the way it guards against, naming the offending node.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "plan/lowering.h"
+#include "runtime/engine.h"
+#include "tuner/tune_memo.h"
+#include "verify/verify.h"
+
+namespace pimdl {
+namespace {
+
+using verify::PassManager;
+using verify::Severity;
+using verify::VerifyResult;
+
+TransformerConfig
+tinyModel()
+{
+    return customTransformer("verify-tiny", 128, 1, 32, 2);
+}
+
+/** A tuned PIM-DL plan of the tiny model on @p platform. */
+Plan
+tunedTinyPlan(const PimPlatformConfig &platform)
+{
+    LoweringOptions options;
+    options.platform = &platform;
+    Plan plan = lowerTransformer(tinyModel(), LutNnParams{4, 16},
+                                 ExecutionMode::PimDl, options);
+    const AutoTuner tuner(platform);
+    const TuneMemo memo(tuner);
+    attachTunedMappings(plan, memo);
+    return plan;
+}
+
+std::size_t
+firstNodeOfKind(const Plan &plan, PlanOpKind kind)
+{
+    for (const PlanNode &node : plan.nodes) {
+        if (node.kind == kind)
+            return node.id;
+    }
+    ADD_FAILURE() << "plan has no " << planOpKindName(kind) << " node";
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Positive: real lowered plans verify clean.
+// ---------------------------------------------------------------------
+
+TEST(VerifyPipeline, AcceptsTunedPlansOnAllPlatformsAndModels)
+{
+    const PassManager pm = PassManager::withDefaultPasses();
+    const TransformerConfig models[] = {bertBase(), bertLarge(),
+                                        vitHuge()};
+    const PimPlatformConfig platforms[] = {
+        upmemPlatform(), hbmPimPlatform(), aimPlatform()};
+    for (const PimPlatformConfig &platform : platforms) {
+        const AutoTuner tuner(platform);
+        const TuneMemo memo(tuner);
+        for (const TransformerConfig &model : models) {
+            LoweringOptions options;
+            options.platform = &platform;
+            Plan plan =
+                lowerTransformer(model, LutNnParams{4, 16},
+                                 ExecutionMode::PimDl, options);
+            attachTunedMappings(plan, memo);
+            const VerifyResult result = pm.run(plan, &platform);
+            EXPECT_TRUE(result.diagnostics().empty())
+                << model.name << " on " << platform.name << ":\n"
+                << result.summary();
+        }
+    }
+}
+
+TEST(VerifyPipeline, AcceptsPimGemmAndHostOnlyPlans)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    const PassManager pm = PassManager::withDefaultPasses();
+    LoweringOptions options;
+    options.platform = &platform;
+    options.dtype = HostDtype::Int8;
+    for (ExecutionMode mode :
+         {ExecutionMode::PimGemm, ExecutionMode::HostOnly}) {
+        const Plan plan =
+            lowerTransformer(tinyModel(), {}, mode, options);
+        const VerifyResult result = pm.run(plan, &platform);
+        EXPECT_TRUE(result.ok()) << executionModeName(mode) << ":\n"
+                                 << result.summary();
+    }
+}
+
+TEST(VerifyPipeline, PublishesVerifyMetrics)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    const PassManager pm = PassManager::withDefaultPasses();
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    const std::uint64_t plans_before =
+        reg.counter("verify.plans_verified").value();
+    const std::uint64_t passes_before =
+        reg.counter("verify.passes_run").value();
+    pm.run(tunedTinyPlan(platform), &platform);
+    EXPECT_EQ(reg.counter("verify.plans_verified").value(),
+              plans_before + 1);
+    EXPECT_EQ(reg.counter("verify.passes_run").value(),
+              passes_before + pm.passCount());
+    EXPECT_GE(reg.histogram("verify.wall_s").count(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Negative: one corrupted plan per pass.
+// ---------------------------------------------------------------------
+
+TEST(VerifyNegative, ForwardEdgeIsRejectedAsCycle)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    Plan plan = tunedTinyPlan(platform);
+    const std::size_t victim = 2;
+    plan.nodes[victim].deps.push_back(plan.nodes.size() - 1);
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("graph-wellformed", victim))
+        << result.summary();
+}
+
+TEST(VerifyNegative, DanglingDependencyIsRejected)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    Plan plan = tunedTinyPlan(platform);
+    const std::size_t victim = 3;
+    plan.nodes[victim].deps.push_back(plan.nodes.size() + 7);
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("graph-wellformed", victim))
+        << result.summary();
+}
+
+TEST(VerifyNegative, DtypeMismatchIsRejected)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    Plan plan = tunedTinyPlan(platform);
+    // Corrupt the *last* elementwise node so the group reference (the
+    // first attention/elementwise node) stays FP32.
+    std::size_t victim = 0;
+    for (const PlanNode &node : plan.nodes) {
+        if (node.kind == PlanOpKind::Elementwise)
+            victim = node.id;
+    }
+    ASSERT_NE(victim, 0u);
+    plan.nodes[victim].dtype = HostDtype::Int8;
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("shape-dtype-flow", victim))
+        << result.summary();
+}
+
+TEST(VerifyNegative, LutShapeMismatchAcrossCcsEdgeIsRejected)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    Plan plan = tunedTinyPlan(platform);
+    const std::size_t victim =
+        firstNodeOfKind(plan, PlanOpKind::LutOp);
+    plan.nodes[victim].lut_shape.f *= 2;
+    plan.nodes[victim].f *= 2;
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("shape-dtype-flow", victim))
+        << result.summary();
+}
+
+TEST(VerifyNegative, HostPlacedLutNodeIsRejected)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    Plan plan = tunedTinyPlan(platform);
+    const std::size_t victim =
+        firstNodeOfKind(plan, PlanOpKind::LutOp);
+    plan.nodes[victim].device = PlanDevice::Host;
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("device-placement", victim))
+        << result.summary();
+}
+
+TEST(VerifyNegative, UnbridgedHostPimEdgeIsRejected)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    Plan plan = tunedTinyPlan(platform);
+    // Rewire the LUT reduce to depend directly on its CCS producer,
+    // bypassing the Link transfer node.
+    const std::size_t lut = firstNodeOfKind(plan, PlanOpKind::LutOp);
+    const std::size_t ccs = firstNodeOfKind(plan, PlanOpKind::Ccs);
+    plan.nodes[lut].deps.push_back(ccs);
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("device-placement", lut))
+        << result.summary();
+}
+
+TEST(VerifyNegative, BufferOverflowingMappingIsRejected)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    LoweringOptions options;
+    options.platform = &platform;
+    Plan plan = lowerTransformer(tinyModel(), LutNnParams{4, 16},
+                                 ExecutionMode::PimDl, options);
+    // A divisibility-clean mapping that drops the whole operator onto
+    // one PE with the full static LUT on-chip: orders of magnitude
+    // past the 64 KB WRAM budget.
+    const std::size_t lut = firstNodeOfKind(plan, PlanOpKind::LutOp);
+    const LutWorkloadShape &shape = plan.nodes[lut].lut_shape;
+    LutMapping mapping;
+    mapping.ns_tile = shape.n;
+    mapping.fs_tile = shape.f;
+    mapping.nm_tile = shape.n;
+    mapping.fm_tile = shape.f;
+    mapping.cbm_tile = shape.cb;
+    mapping.scheme = LutLoadScheme::Static;
+    attachMappingOverride(plan, mapping);
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("capacity", lut))
+        << result.summary();
+}
+
+TEST(VerifyNegative, LutWithoutCcsPathIsAScheduleHazard)
+{
+    const PimPlatformConfig platform = upmemPlatform();
+    Plan plan = tunedTinyPlan(platform);
+    const std::size_t victim =
+        firstNodeOfKind(plan, PlanOpKind::LutOp);
+    plan.nodes[victim].deps.clear();
+
+    const VerifyResult result =
+        PassManager::withDefaultPasses().run(plan, &platform);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.hasNodeDiag("schedule-hazard", victim))
+        << result.summary();
+}
+
+// ---------------------------------------------------------------------
+// Schedule-result and degraded-remap verification.
+// ---------------------------------------------------------------------
+
+TEST(VerifySchedule, AcceptsEveryBuiltInScheduler)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const Plan plan = engine.lower(tinyModel(), LutNnParams{4, 16},
+                                   ExecutionMode::PimDl);
+    const CostedPlan costed = engine.cost(plan);
+    for (SchedulePolicy policy :
+         {SchedulePolicy::Sequential, SchedulePolicy::Pipelined,
+          SchedulePolicy::Overlap}) {
+        const ScheduleResult scheduled =
+            schedulerFor(policy).schedule(costed);
+        const VerifyResult result =
+            verify::verifyScheduleResult(costed, scheduled, policy);
+        EXPECT_TRUE(result.ok()) << schedulePolicyName(policy) << ":\n"
+                                 << result.summary();
+    }
+}
+
+TEST(VerifySchedule, RejectsStepViolatingOverlapBounds)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const Plan plan = engine.lower(tinyModel(), LutNnParams{4, 16},
+                                   ExecutionMode::PimDl);
+    const CostedPlan costed = engine.cost(plan);
+    ScheduleResult scheduled =
+        schedulerFor(SchedulePolicy::Sequential).schedule(costed);
+
+    // A step claiming less wall time than its busiest device.
+    ASSERT_FALSE(scheduled.steps.empty());
+    ScheduleStep &step = scheduled.steps.front();
+    step.host_s = 2.0;
+    step.pim_s = 0.0;
+    step.total_s = 1.0;
+    const VerifyResult result = verify::verifyScheduleResult(
+        costed, scheduled, SchedulePolicy::Sequential);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(VerifySchedule, RejectsStepSumMismatch)
+{
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    const Plan plan = engine.lower(tinyModel(), LutNnParams{4, 16},
+                                   ExecutionMode::PimDl);
+    const CostedPlan costed = engine.cost(plan);
+    ScheduleResult scheduled =
+        schedulerFor(SchedulePolicy::Pipelined).schedule(costed);
+    scheduled.estimate.total_s *= 2.0;
+    const VerifyResult result = verify::verifyScheduleResult(
+        costed, scheduled, SchedulePolicy::Pipelined);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(VerifyRemap, AcceptsPlannedDegradedRemap)
+{
+    LutWorkloadShape shape;
+    shape.n = 8;
+    shape.cb = 4;
+    shape.ct = 16;
+    shape.f = 8;
+    LutMapping mapping;
+    mapping.ns_tile = 4;
+    mapping.fs_tile = 4;
+    mapping.nm_tile = 2;
+    mapping.fm_tile = 2;
+    mapping.cbm_tile = 2;
+
+    std::vector<bool> failed(mapping.totalPes(shape), false);
+    failed[1] = true;
+    const DegradedLutRemap remap =
+        planDegradedLutRemap(shape, mapping, failed);
+    ASSERT_TRUE(remap.legal);
+    EXPECT_TRUE(
+        verify::verifyDegradedRemap(shape, mapping, failed, remap).ok());
+}
+
+TEST(VerifyRemap, RejectsTileAssignedToDeadPe)
+{
+    LutWorkloadShape shape;
+    shape.n = 8;
+    shape.cb = 4;
+    shape.ct = 16;
+    shape.f = 8;
+    LutMapping mapping;
+    mapping.ns_tile = 4;
+    mapping.fs_tile = 4;
+    mapping.nm_tile = 2;
+    mapping.fm_tile = 2;
+    mapping.cbm_tile = 2;
+
+    std::vector<bool> failed(mapping.totalPes(shape), false);
+    failed[1] = true;
+    DegradedLutRemap remap =
+        planDegradedLutRemap(shape, mapping, failed);
+    ASSERT_TRUE(remap.legal);
+    remap.tile_owner.front() = 1; // the dead PE
+    EXPECT_FALSE(
+        verify::verifyDegradedRemap(shape, mapping, failed, remap)
+            .ok());
+}
+
+TEST(VerifyRemap, RejectsWrongWaveCount)
+{
+    LutWorkloadShape shape;
+    shape.n = 8;
+    shape.cb = 4;
+    shape.ct = 16;
+    shape.f = 8;
+    LutMapping mapping;
+    mapping.ns_tile = 4;
+    mapping.fs_tile = 4;
+    mapping.nm_tile = 2;
+    mapping.fm_tile = 2;
+    mapping.cbm_tile = 2;
+
+    std::vector<bool> failed(mapping.totalPes(shape), false);
+    failed[0] = true;
+    failed[2] = true;
+    DegradedLutRemap remap =
+        planDegradedLutRemap(shape, mapping, failed);
+    ASSERT_TRUE(remap.legal);
+    remap.waves = 1; // 4 tiles over 2 survivors needs 2 waves
+    EXPECT_FALSE(
+        verify::verifyDegradedRemap(shape, mapping, failed, remap)
+            .ok());
+}
+
+// ---------------------------------------------------------------------
+// Runtime switch and engine wiring.
+// ---------------------------------------------------------------------
+
+TEST(VerifySwitch, EngineRejectsIllegalOverrideWhenEnabled)
+{
+    const bool was = verify::verifyPlansEnabled();
+    verify::setVerifyPlansEnabled(true);
+
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    LutMapping bad;
+    bad.ns_tile = 64;
+    bad.fs_tile = 384; // tiny model QKV F, keeps divisibility clean
+    bad.nm_tile = 64;
+    bad.fm_tile = 384;
+    bad.cbm_tile = 32;
+    bad.scheme = LutLoadScheme::Static;
+    try {
+        engine.estimatePimDlWithMapping(tinyModel(), LutNnParams{4, 16},
+                                        bad);
+        ADD_FAILURE() << "illegal mapping was not rejected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("plan verification"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    verify::setVerifyPlansEnabled(was);
+}
+
+TEST(VerifySwitch, OverrideTogglesEnablement)
+{
+    const bool was = verify::verifyPlansEnabled();
+    verify::setVerifyPlansEnabled(false);
+    EXPECT_FALSE(verify::verifyPlansEnabled());
+    verify::setVerifyPlansEnabled(true);
+    EXPECT_TRUE(verify::verifyPlansEnabled());
+    verify::setVerifyPlansEnabled(was);
+}
+
+TEST(VerifyDiagnostics, RenderAndSummaryNameTheNode)
+{
+    verify::Diagnostic diag;
+    diag.severity = Severity::Error;
+    diag.pass = "capacity";
+    diag.has_node = true;
+    diag.node = 12;
+    diag.message = "tile exceeds the PE buffer";
+    EXPECT_EQ(diag.str(),
+              "[capacity] error node 12: tile exceeds the PE buffer");
+
+    VerifyResult result;
+    result.addPlanDiag(Severity::Warning, "graph-wellformed", "odd");
+    result.add(diag);
+    EXPECT_EQ(result.errorCount(), 1u);
+    EXPECT_EQ(result.count(Severity::Warning), 1u);
+    // Errors sort first in the summary even when added later.
+    EXPECT_EQ(result.summary().rfind("[capacity]", 0), 0u);
+}
+
+} // namespace
+} // namespace pimdl
