@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Gate kernel micro-benchmark results against a checked-in baseline.
+
+Consumes the BENCH_kernels.json emitted by `bench_kernels --json` and
+compares every (kernel, impl, shape) entry's ns/op against
+bench/baselines/kernels.json. The build fails when any entry regresses
+by more than the tolerance (default 25%). Entries present in the run
+but absent from the baseline are reported and accepted (new kernels /
+impls land with their first measurement via --update); entries present
+in the baseline but missing from the run fail, so a silently dropped
+impl cannot pass the gate.
+
+Usage: check_bench.py <run.json> [--baseline <baseline.json>]
+                      [--tolerance <fraction>] [--update]
+                      [--summary <out.md>]
+
+--update rewrites the baseline from the run instead of gating (used by
+`[bench-rebase]` commits and when recording a new machine profile).
+
+--summary writes a GitHub-flavoured markdown table (impl x kernel x
+speedup-over-scalar) suitable for $GITHUB_STEP_SUMMARY.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+SCHEMA = "pimdl.bench.kernels.v1"
+
+
+def fail(message):
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot load {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema mismatch: {doc.get('schema')!r} != {SCHEMA!r}")
+    entries = {}
+    for entry in doc.get("entries", []):
+        key = (entry["kernel"], entry["impl"], entry["shape"])
+        if key in entries:
+            fail(f"{path}: duplicate entry {key}")
+        entries[key] = entry
+    if not entries:
+        fail(f"{path}: no entries")
+    return entries
+
+
+def write_summary(path, entries):
+    lines = [
+        "### Kernel micro-benchmarks",
+        "",
+        "| kernel | shape | impl | ns/op | GB/s | GOPS | vs scalar |",
+        "|---|---|---|---:|---:|---:|---:|",
+    ]
+    for key in sorted(entries):
+        e = entries[key]
+        lines.append(
+            f"| {e['kernel']} | {e['shape']} | {e['impl']} "
+            f"| {e['ns_per_op']:.1f} | {e['gb_per_s']:.2f} "
+            f"| {e['gops']:.2f} | {e['speedup_vs_scalar']:.2f}x |"
+        )
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("run")
+    parser.add_argument("--baseline", default="bench/baselines/kernels.json")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--update", action="store_true")
+    parser.add_argument("--summary")
+    args = parser.parse_args()
+
+    run = load(args.run)
+
+    if args.summary:
+        write_summary(args.summary, run)
+
+    if args.update:
+        shutil.copyfile(args.run, args.baseline)
+        print(f"check_bench: baseline {args.baseline} updated "
+              f"({len(run)} entries)")
+        return
+
+    baseline = load(args.baseline)
+
+    regressions = []
+    new_entries = []
+    for key, entry in sorted(run.items()):
+        base = baseline.get(key)
+        if base is None:
+            new_entries.append(key)
+            continue
+        ratio = entry["ns_per_op"] / base["ns_per_op"]
+        marker = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((key, base["ns_per_op"],
+                                entry["ns_per_op"], ratio))
+            marker = "  <-- REGRESSION"
+        print(
+            f"check_bench: {key[0]}/{key[1]}/{key[2]}: "
+            f"{base['ns_per_op']:.1f} -> {entry['ns_per_op']:.1f} ns/op "
+            f"({ratio:.2f}x){marker}"
+        )
+
+    for key in new_entries:
+        print(f"check_bench: NEW {key[0]}/{key[1]}/{key[2]} "
+              "(not in baseline, accepted)")
+
+    missing = sorted(set(baseline) - set(run))
+    if missing:
+        fail(
+            "baseline entries missing from run (dropped impl or shape?): "
+            + ", ".join("/".join(k) for k in missing)
+        )
+
+    if regressions:
+        for key, base_ns, run_ns, ratio in regressions:
+            print(
+                f"check_bench: REGRESSION {key[0]}/{key[1]}/{key[2]}: "
+                f"{base_ns:.1f} -> {run_ns:.1f} ns/op ({ratio:.2f}x > "
+                f"{1.0 + args.tolerance:.2f}x allowed)",
+                file=sys.stderr,
+            )
+        fail(
+            f"{len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'}"
+            f" regressed beyond {args.tolerance:.0%}; rerun with --update "
+            "(or land with [bench-rebase] in the commit message) if the "
+            "change is intentional"
+        )
+
+    print(f"check_bench: OK ({len(run)} entries, tolerance "
+          f"{args.tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,8 +56,21 @@ parallelWorkerCount()
 void
 parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
 {
+    parallelForBlocked(count, 1,
+                       [&body](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                               body(i);
+                       });
+}
+
+void
+parallelForBlocked(std::size_t count, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)> &body)
+{
     if (count == 0)
         return;
+    if (grain == 0)
+        grain = 1;
 
     // Cached metric references: the registry never invalidates them.
     static obs::Counter &calls =
@@ -73,12 +86,13 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
     calls.add();
     items.add(count);
 
+    // A worker must own at least one full grain of contiguous work.
+    const std::size_t grains = (count + grain - 1) / grain;
     const std::size_t workers =
-        std::min<std::size_t>(parallelWorkerCount(), count);
+        std::min<std::size_t>(parallelWorkerCount(), grains);
     worker_gauge.set(static_cast<double>(workers));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            body(i);
+        body(0, count);
         utilization.record(1.0);
         return;
     }
@@ -89,7 +103,9 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
     std::vector<double> busy_s(workers, 0.0);
     const auto wall_start = std::chrono::steady_clock::now();
 
-    const std::size_t chunk = (count + workers - 1) / workers;
+    // Contiguous shards, each a whole number of grains.
+    const std::size_t grains_per_worker = (grains + workers - 1) / workers;
+    const std::size_t chunk = grains_per_worker * grain;
     for (std::size_t w = 0; w < workers; ++w) {
         const std::size_t begin = w * chunk;
         const std::size_t end = std::min(count, begin + chunk);
@@ -98,8 +114,7 @@ parallelFor(std::size_t count, const std::function<void(std::size_t)> &body)
         pool.emplace_back([&, w, begin, end]() {
             const auto start = std::chrono::steady_clock::now();
             try {
-                for (std::size_t i = begin; i < end; ++i)
-                    body(i);
+                body(begin, end);
             } catch (...) {
                 error.capture();
             }

@@ -27,6 +27,18 @@ std::size_t parallelWorkerCount();
 void parallelFor(std::size_t count,
                  const std::function<void(std::size_t)> &body);
 
+/**
+ * Invokes @p body(begin, end) over disjoint contiguous ranges covering
+ * [0, count), each at least @p grain indices long (except possibly the
+ * final range). One std::function call per block instead of per index:
+ * SIMD micro-kernels iterating rows inside the block amortize the
+ * dispatch overhead and keep their working set contiguous. A grain of
+ * 0 is treated as 1. Exceptions are rethrown after all workers join.
+ */
+void parallelForBlocked(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)> &body);
+
 } // namespace pimdl
 
 #endif // PIMDL_COMMON_PARALLEL_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Vectorized micro-kernels behind the hot functional paths (closest-
+ * centroid search, LUT gather-accumulate, GEMM inner axpy) with a
+ * runtime CPU-feature dispatch table.
+ *
+ * Every implementation is bit-exact against the scalar reference: the
+ * per-output-element floating-point accumulation order is part of the
+ * kernel contract (codebook order for the LUT reduce, sub-vector
+ * element order for the CCS dot product, ascending column order for
+ * axpy), so SIMD variants vectorize only across independent output
+ * elements — or restructure reductions so each lane reproduces the
+ * scalar sequence exactly. That is what lets the degraded-mode /
+ * host-fallback ladder in the LUT executor and the pinned plan goldens
+ * stay bit-identical no matter which ISA executed a tile.
+ *
+ * Dispatch resolution order (mirroring the PIMDL_VERIFY_PLANS
+ * pattern): a process-wide runtime override (`setKernelImpl`), else
+ * the `PIMDL_KERNEL_IMPL` environment variable ("scalar", "generic",
+ * "avx2"), else the fastest implementation compiled in AND supported
+ * by the running CPU. Selection publishes the `kernels.impl` gauge;
+ * call-site helpers publish per-kernel bytes/elements counters.
+ */
+
+#ifndef PIMDL_KERNELS_KERNELS_H
+#define PIMDL_KERNELS_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimdl {
+namespace kernels {
+
+/**
+ * Closest-centroid search over one codebook: returns
+ * argmin_ct (norms2[ct] - 2 * dot(v, centroids[ct])) scanning
+ * centroids in ascending order with strict less-than (first minimum
+ * wins). `centroids` is row-major ct_count x v_len; `norms2` holds the
+ * cached squared centroid norms.
+ */
+using CcsArgminFn = std::size_t (*)(const float *v, const float *centroids,
+                                    const float *norms2,
+                                    std::size_t ct_count,
+                                    std::size_t v_len);
+
+/**
+ * FP32 LUT gather-accumulate for one output row: zero-fills
+ * dst[0, f_count) then, for each codebook cb in ascending order, adds
+ * lut[(cb * ct_count + idx_row[cb]) * f_dim + col0 + j] to dst[j].
+ * `f_dim` is the full LUT row width; [col0, col0 + f_count) selects
+ * the tile columns this call reduces.
+ */
+using LutAccumF32Fn = void (*)(const std::uint16_t *idx_row,
+                               std::size_t cb_count, std::size_t ct_count,
+                               const float *lut, std::size_t f_dim,
+                               std::size_t col0, std::size_t f_count,
+                               float *dst);
+
+/**
+ * INT8 LUT gather-accumulate: same traversal as LutAccumF32Fn but
+ * accumulating sign-extended INT8 entries into INT32 accumulators
+ * (zero-filled first). The caller applies the dequantization scale.
+ */
+using LutAccumI8Fn = void (*)(const std::uint16_t *idx_row,
+                              std::size_t cb_count, std::size_t ct_count,
+                              const std::int8_t *lut, std::size_t f_dim,
+                              std::size_t col0, std::size_t f_count,
+                              std::int32_t *acc);
+
+/** y[j] += a * x[j] for j in [0, n): the GEMM inner kernel. */
+using AxpyF32Fn = void (*)(float a, const float *x, float *y,
+                           std::size_t n);
+
+/** One ISA implementation of the micro-kernel set. */
+struct KernelTable
+{
+    /** Stable implementation name ("scalar", "generic", "avx2"). */
+    const char *name;
+    /** Priority for auto-selection (higher wins when supported). */
+    int priority;
+    CcsArgminFn ccs_argmin;
+    LutAccumF32Fn lut_accum_f32;
+    LutAccumI8Fn lut_accum_i8;
+    AxpyF32Fn axpy_f32;
+};
+
+/** The bit-exactness oracle; always available. */
+const KernelTable &scalarKernels();
+
+/**
+ * Portable compiler-vector implementation (GCC/Clang vector
+ * extensions): lowers to SSE on baseline x86-64 and NEON on AArch64
+ * without ISA-specific flags. Always available.
+ */
+const KernelTable &genericKernels();
+
+/**
+ * AVX2 implementation, or nullptr when the TU was not compiled in
+ * (non-x86 target or compiler without -mavx2) or the running CPU
+ * lacks AVX2 support.
+ */
+const KernelTable *avx2Kernels();
+
+/**
+ * Every implementation compiled in AND supported by this CPU, ordered
+ * by ascending priority (scalar first).
+ */
+std::vector<const KernelTable *> availableKernels();
+
+/**
+ * Looks an implementation up by name; nullptr for unknown names and
+ * for implementations unavailable on this machine.
+ */
+const KernelTable *kernelsByName(const std::string &name);
+
+/**
+ * The dispatch table hot paths call through. Resolution: runtime
+ * override from setKernelImpl, else PIMDL_KERNEL_IMPL (unknown or
+ * unavailable names fall back to auto with a warning), else the
+ * highest-priority available implementation. Publishes the
+ * `kernels.impl` gauge on every selection change. Thread-safe.
+ */
+const KernelTable &best();
+
+/**
+ * Process-wide runtime override of the dispatched implementation
+ * (test hook and bench `--kernel-impl` flag). Throws on names that
+ * are unknown or unavailable on this machine; pass an empty string to
+ * restore auto/env resolution. Thread-safe.
+ */
+void setKernelImpl(const std::string &name);
+
+/**
+ * Coarse-grained work accounting, called once per operator invocation
+ * (never per row): kernels.ccs.* / kernels.lut.* / kernels.axpy.*
+ * bytes and element counters.
+ */
+void recordCcsWork(std::size_t rows, std::size_t cb_count,
+                   std::size_t ct_count, std::size_t v_len);
+void recordLutWork(std::size_t rows, std::size_t cb_count,
+                   std::size_t f_count, std::size_t elem_bytes);
+void recordAxpyWork(std::size_t elements);
+
+} // namespace kernels
+} // namespace pimdl
+
+#endif // PIMDL_KERNELS_KERNELS_H

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * AVX2 implementation of the micro-kernel set. This TU is the only
+ * one compiled with -mavx2 (plus -ffp-contract=off so no mul+add pair
+ * is silently fused into an FMA); the dispatch layer guards it behind
+ * a runtime __builtin_cpu_supports("avx2") check.
+ *
+ * Bit-exactness with the scalar reference is preserved by keeping the
+ * per-output floating-point operation order identical:
+ *  - LUT gather-accumulate and axpy vectorize across independent
+ *    output columns, so each column sees the exact scalar sequence.
+ *  - The CCS dot product is a reduction over the sub-vector, so the
+ *    V=4 fast path transposes blocks of eight centroids into four
+ *    element-planes and evaluates ((v0*c0 + v1*c1) + v2*c2) + v3*c3
+ *    lane-wise — the scalar association — with one centroid per lane.
+ *    The argmin keeps strict less-than, first-minimum-wins semantics
+ *    across the lane permutation (see ccsArgminV4 for the argument).
+ *  - Sub-vector lengths without a fast path fall back to the scalar
+ *    reference, which is trivially bit-exact.
+ */
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "kernels/kernels_impl.h"
+
+namespace pimdl {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+/**
+ * CCS argmin over one codebook with V == 4.
+ *
+ * Eight centroids (32 contiguous floats) are loaded as four 8-lane
+ * rows and transposed so plane k holds element k of each centroid.
+ * The in-register transpose leaves lanes in the fixed permutation
+ * {0,2,4,6,1,3,5,7} relative to the centroid block; the lane-index
+ * vector and the norms are permuted identically, so every lane tracks
+ * the scalar-order running minimum of its own index subsequence.
+ * Because the subsequences partition the centroid range, taking the
+ * smallest stored index among the lanes that attain the global
+ * minimum recovers exactly the first global minimum — the scalar
+ * tie-break.
+ */
+std::size_t
+ccsArgminV4(const float *v, const float *centroids, const float *norms2,
+            std::size_t ct_count)
+{
+    const std::size_t blocks = ct_count / 8;
+    std::size_t best_ct = 0;
+    float best_score = 0.0f;
+    bool seeded = false;
+
+    if (blocks > 0) {
+        const __m256 v0 = _mm256_set1_ps(v[0]);
+        const __m256 v1 = _mm256_set1_ps(v[1]);
+        const __m256 v2 = _mm256_set1_ps(v[2]);
+        const __m256 v3 = _mm256_set1_ps(v[3]);
+        // Transpose lane order: lane l of every plane holds centroid
+        // base + kLanePerm[l].
+        const __m256i lane_perm =
+            _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+        const __m256 lane_perm_f =
+            _mm256_setr_ps(0.0f, 2.0f, 4.0f, 6.0f, 1.0f, 3.0f, 5.0f,
+                           7.0f);
+
+        __m256 best_v = _mm256_set1_ps(0.0f);
+        __m256 best_idx_v = _mm256_set1_ps(0.0f);
+
+        for (std::size_t b = 0; b < blocks; ++b) {
+            const float *base = centroids + b * 32;
+            const __m256 r0 = _mm256_loadu_ps(base);
+            const __m256 r1 = _mm256_loadu_ps(base + 8);
+            const __m256 r2 = _mm256_loadu_ps(base + 16);
+            const __m256 r3 = _mm256_loadu_ps(base + 24);
+
+            // 8x4 transpose into element planes d0..d3.
+            const __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+            const __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+            const __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+            const __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+            const __m256 d0 =
+                _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+            const __m256 d1 =
+                _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+            const __m256 d2 =
+                _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+            const __m256 d3 =
+                _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+
+            // Scalar association: ((v0*c0 + v1*c1) + v2*c2) + v3*c3.
+            const __m256 dot = _mm256_add_ps(
+                _mm256_add_ps(
+                    _mm256_add_ps(_mm256_mul_ps(v0, d0),
+                                  _mm256_mul_ps(v1, d1)),
+                    _mm256_mul_ps(v2, d2)),
+                _mm256_mul_ps(v3, d3));
+
+            const __m256 norms = _mm256_permutevar8x32_ps(
+                _mm256_loadu_ps(norms2 + b * 8), lane_perm);
+            const __m256 score = _mm256_sub_ps(
+                norms, _mm256_mul_ps(_mm256_set1_ps(2.0f), dot));
+            const __m256 idx = _mm256_add_ps(
+                _mm256_set1_ps(static_cast<float>(b * 8)), lane_perm_f);
+
+            if (b == 0) {
+                best_v = score;
+                best_idx_v = idx;
+            } else {
+                const __m256 lt =
+                    _mm256_cmp_ps(score, best_v, _CMP_LT_OQ);
+                best_v = _mm256_blendv_ps(best_v, score, lt);
+                best_idx_v = _mm256_blendv_ps(best_idx_v, idx, lt);
+            }
+        }
+
+        // Cross-lane reduce, all in-register: fold to the global
+        // minimum score, then take the smallest index among the lanes
+        // that attain it (== also matches across 0.0/-0.0, exactly
+        // like the scalar strict-less scan which never replaces on
+        // equal scores).
+        __m256 m = _mm256_min_ps(
+            best_v, _mm256_permute2f128_ps(best_v, best_v, 1));
+        m = _mm256_min_ps(
+            m, _mm256_shuffle_ps(m, m, _MM_SHUFFLE(1, 0, 3, 2)));
+        m = _mm256_min_ps(
+            m, _mm256_shuffle_ps(m, m, _MM_SHUFFLE(2, 3, 0, 1)));
+        const __m256 eq = _mm256_cmp_ps(best_v, m, _CMP_EQ_OQ);
+        __m256 im = _mm256_blendv_ps(
+            _mm256_set1_ps(std::numeric_limits<float>::max()),
+            best_idx_v, eq);
+        im = _mm256_min_ps(im, _mm256_permute2f128_ps(im, im, 1));
+        im = _mm256_min_ps(
+            im, _mm256_shuffle_ps(im, im, _MM_SHUFFLE(1, 0, 3, 2)));
+        im = _mm256_min_ps(
+            im, _mm256_shuffle_ps(im, im, _MM_SHUFFLE(2, 3, 0, 1)));
+        best_score = _mm256_cvtss_f32(m);
+        best_ct = static_cast<std::size_t>(_mm256_cvtss_f32(im));
+        seeded = true;
+    }
+
+    // Scalar tail over the trailing < 8 centroids, continuing the
+    // strict-less scan (tail indices all exceed the vector indices).
+    for (std::size_t ct = blocks * 8; ct < ct_count; ++ct) {
+        const float *c = centroids + ct * 4;
+        float dot = 0.0f;
+        for (std::size_t d = 0; d < 4; ++d)
+            dot += v[d] * c[d];
+        const float score = norms2[ct] - 2.0f * dot;
+        if (!seeded || score < best_score) {
+            best_score = score;
+            best_ct = ct;
+            seeded = true;
+        }
+    }
+    return best_ct;
+}
+
+std::size_t
+avx2CcsArgmin(const float *v, const float *centroids, const float *norms2,
+              std::size_t ct_count, std::size_t v_len)
+{
+    if (v_len == 4)
+        return ccsArgminV4(v, centroids, norms2, ct_count);
+    return scalarCcsArgmin(v, centroids, norms2, ct_count, v_len);
+}
+
+void
+avx2LutAccumF32(const std::uint16_t *idx_row, std::size_t cb_count,
+                std::size_t ct_count, const float *lut, std::size_t f_dim,
+                std::size_t col0, std::size_t f_count, float *dst)
+{
+    const std::size_t vec_end = f_count - f_count % 8;
+    for (std::size_t j = 0; j < f_count; ++j)
+        dst[j] = 0.0f;
+    for (std::size_t cb = 0; cb < cb_count; ++cb) {
+        const float *src =
+            lut + (cb * ct_count + idx_row[cb]) * f_dim + col0;
+        for (std::size_t j = 0; j < vec_end; j += 8) {
+            const __m256 acc = _mm256_loadu_ps(dst + j);
+            _mm256_storeu_ps(
+                dst + j, _mm256_add_ps(acc, _mm256_loadu_ps(src + j)));
+        }
+        for (std::size_t j = vec_end; j < f_count; ++j)
+            dst[j] += src[j];
+    }
+}
+
+void
+avx2LutAccumI8(const std::uint16_t *idx_row, std::size_t cb_count,
+               std::size_t ct_count, const std::int8_t *lut,
+               std::size_t f_dim, std::size_t col0, std::size_t f_count,
+               std::int32_t *acc)
+{
+    const std::size_t vec_end = f_count - f_count % 8;
+    for (std::size_t j = 0; j < f_count; ++j)
+        acc[j] = 0;
+    for (std::size_t cb = 0; cb < cb_count; ++cb) {
+        const std::int8_t *src =
+            lut + (cb * ct_count + idx_row[cb]) * f_dim + col0;
+        for (std::size_t j = 0; j < vec_end; j += 8) {
+            // 8 INT8 entries sign-extended to 32-bit lanes.
+            const __m128i bytes = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(src + j));
+            const __m256i wide = _mm256_cvtepi8_epi32(bytes);
+            const __m256i sum = _mm256_add_epi32(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(acc + j)),
+                wide);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + j),
+                                sum);
+        }
+        for (std::size_t j = vec_end; j < f_count; ++j)
+            acc[j] += src[j];
+    }
+}
+
+void
+avx2AxpyF32(float a, const float *x, float *y, std::size_t n)
+{
+    const std::size_t vec_end = n - n % 8;
+    const __m256 va = _mm256_set1_ps(a);
+    for (std::size_t j = 0; j < vec_end; j += 8) {
+        const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + j));
+        _mm256_storeu_ps(
+            y + j, _mm256_add_ps(_mm256_loadu_ps(y + j), prod));
+    }
+    for (std::size_t j = vec_end; j < n; ++j)
+        y[j] += a * x[j];
+}
+
+} // namespace
+
+const KernelTable &
+avx2Table()
+{
+    static const KernelTable table = {
+        "avx2",
+        2,
+        avx2CcsArgmin,
+        avx2LutAccumF32,
+        avx2LutAccumI8,
+        avx2AxpyF32,
+    };
+    return table;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace pimdl

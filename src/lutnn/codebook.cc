@@ -1,5 +1,7 @@
 #include "codebook.h"
 
+#include "kernels/kernels.h"
+
 namespace pimdl {
 
 void
@@ -49,20 +51,11 @@ std::size_t
 CodebookSet::nearest(std::size_t cb, const float *v) const
 {
     // argmin_c ||v - c||^2 == argmin_c (||c||^2 - 2 v.c); ||v||^2 constant.
-    std::size_t best = 0;
-    float best_score = 0.0f;
-    for (std::size_t ct = 0; ct < centroids_; ++ct) {
-        const float *c = centroid(cb, ct);
-        float dot = 0.0f;
-        for (std::size_t d = 0; d < subvec_len_; ++d)
-            dot += v[d] * c[d];
-        const float score = norms_[cb * centroids_ + ct] - 2.0f * dot;
-        if (ct == 0 || score < best_score) {
-            best_score = score;
-            best = ct;
-        }
-    }
-    return best;
+    // Dispatched micro-kernel; every ISA variant reproduces the scalar
+    // scan (sequential dot, strict less-than, first minimum wins)
+    // bit-exactly.
+    return kernels::best().ccs_argmin(v, centroid(cb, 0), normsPtr(cb),
+                                      centroids_, subvec_len_);
 }
 
 CodebookSet

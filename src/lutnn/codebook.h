@@ -80,6 +80,13 @@ class CodebookSet
         return norms_[cb * centroids_ + ct];
     }
 
+    /** Pointer to the cached squared norms of codebook @p cb
+     * (length centroids()); the layout CCS kernels consume. */
+    const float *normsPtr(std::size_t cb) const
+    {
+        return norms_.data() + cb * centroids_;
+    }
+
     /**
      * Returns the nearest-centroid index for sub-vector @p v (length V)
      * in codebook @p cb, using the inner-product distance form.

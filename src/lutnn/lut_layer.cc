@@ -1,8 +1,19 @@
 #include "lut_layer.h"
 
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 
 namespace pimdl {
+
+namespace {
+
+/**
+ * Rows per parallel block for the CCS / lookup loops: large enough to
+ * amortize the per-block dispatch, small enough to load-balance.
+ */
+constexpr std::size_t kRowGrain = 16;
+
+} // namespace
 
 LutLayer
 LutLayer::convert(const Tensor &w, CodebookSet codebooks,
@@ -76,13 +87,22 @@ LutLayer::closestCentroidSearch(const Tensor &input) const
     const std::size_t v_len = shape_.subvec_len;
 
     IndexMatrix indices(input.rows(), cb_count);
-    parallelFor(input.rows(), [&](std::size_t r) {
-        const float *row = input.rowPtr(r);
-        for (std::size_t cb = 0; cb < cb_count; ++cb) {
-            indices.at(r, cb) = static_cast<std::uint16_t>(
-                codebooks_.nearest(cb, row + cb * v_len));
-        }
-    });
+    const kernels::KernelTable &kt = kernels::best();
+    kernels::recordCcsWork(input.rows(), cb_count, shape_.centroids,
+                           v_len);
+    parallelForBlocked(
+        input.rows(), kRowGrain, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r) {
+                const float *row = input.rowPtr(r);
+                std::uint16_t *dst = &indices.at(r, 0);
+                for (std::size_t cb = 0; cb < cb_count; ++cb) {
+                    dst[cb] = static_cast<std::uint16_t>(kt.ccs_argmin(
+                        row + cb * v_len, codebooks_.centroid(cb, 0),
+                        codebooks_.normsPtr(cb), shape_.centroids,
+                        v_len));
+                }
+            }
+        });
     return indices;
 }
 
@@ -95,15 +115,17 @@ LutLayer::lookup(const IndexMatrix &indices) const
     const std::size_t ct_count = shape_.centroids;
 
     Tensor out(indices.rows, f_count);
-    parallelFor(indices.rows, [&](std::size_t r) {
-        float *dst = out.rowPtr(r);
-        for (std::size_t cb = 0; cb < indices.cols; ++cb) {
-            const std::size_t ct = indices.at(r, cb);
-            const float *src = lut_.data() + (cb * ct_count + ct) * f_count;
-            for (std::size_t f = 0; f < f_count; ++f)
-                dst[f] += src[f];
-        }
-    });
+    const kernels::KernelTable &kt = kernels::best();
+    kernels::recordLutWork(indices.rows, indices.cols, f_count,
+                           sizeof(float));
+    parallelForBlocked(
+        indices.rows, kRowGrain, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r) {
+                kt.lut_accum_f32(indices.data.data() + r * indices.cols,
+                                 indices.cols, ct_count, lut_.data(),
+                                 f_count, 0, f_count, out.rowPtr(r));
+            }
+        });
     addBiasRows(out);
     return out;
 }
@@ -120,19 +142,23 @@ LutLayer::lookupQuantized(const IndexMatrix &indices) const
     const QuantizedTensor &qlut = *quant_lut_;
 
     Tensor out(indices.rows, f_count);
-    parallelFor(indices.rows, [&](std::size_t r) {
-        std::vector<std::int32_t> acc(f_count, 0);
-        for (std::size_t cb = 0; cb < indices.cols; ++cb) {
-            const std::size_t ct = indices.at(r, cb);
-            const std::int8_t *src =
-                qlut.data.data() + (cb * ct_count + ct) * f_count;
-            for (std::size_t f = 0; f < f_count; ++f)
-                acc[f] += src[f];
-        }
-        float *dst = out.rowPtr(r);
-        for (std::size_t f = 0; f < f_count; ++f)
-            dst[f] = static_cast<float>(acc[f]) * qlut.scale;
-    });
+    const kernels::KernelTable &kt = kernels::best();
+    kernels::recordLutWork(indices.rows, indices.cols, f_count,
+                           sizeof(std::int8_t));
+    parallelForBlocked(
+        indices.rows, kRowGrain, [&](std::size_t begin, std::size_t end) {
+            // One accumulator per block, zero-filled by the kernel on
+            // every row.
+            std::vector<std::int32_t> acc(f_count);
+            for (std::size_t r = begin; r < end; ++r) {
+                kt.lut_accum_i8(indices.data.data() + r * indices.cols,
+                                indices.cols, ct_count, qlut.data.data(),
+                                f_count, 0, f_count, acc.data());
+                float *dst = out.rowPtr(r);
+                for (std::size_t f = 0; f < f_count; ++f)
+                    dst[f] = static_cast<float>(acc[f]) * qlut.scale;
+            }
+        });
     addBiasRows(out);
     return out;
 }

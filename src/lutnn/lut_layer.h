@@ -102,6 +102,16 @@ class LutLayer
     /** Symmetric scale of the INT8 LUT; requires quantizeTables(). */
     float quantScale() const { return quant_lut_->scale; }
 
+    /** Raw FP32 LUT storage, flattened [cb][ct][f]; the layout the
+     * gather-accumulate kernels consume. */
+    const float *lutData() const { return lut_.data(); }
+
+    /** Raw INT8 LUT storage ([cb][ct][f]); requires quantizeTables(). */
+    const std::int8_t *quantLutData() const
+    {
+        return quant_lut_->data.data();
+    }
+
     /** LUT payload size in bytes for the given datatype width. */
     std::size_t lutByteSize(std::size_t dtype_bytes = 1) const
     {

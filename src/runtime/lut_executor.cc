@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/schedule.h"
@@ -107,41 +108,38 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
 
     // The bit-faithful reduction of one (ns_tile x fs_tile) tile for
     // group g / lane l, written row-major into dst with the given
-    // stride. The operation order is identical no matter which PE — or
-    // the host — executes the tile, which is what keeps degraded-mode
-    // and fallback outputs bit-exact.
+    // stride. The dispatched micro-kernels guarantee the operation
+    // order is identical no matter which PE — or the host — executes
+    // the tile, and no matter which ISA variant runs it, which is
+    // what keeps degraded-mode and fallback outputs bit-exact.
+    const kernels::KernelTable &kt = kernels::best();
+    kernels::recordLutWork(shape.n, cb, mapping.fs_tile,
+                           quantized ? sizeof(std::int8_t)
+                                     : sizeof(float));
     const auto computeTile = [&](float *dst, std::size_t stride,
                                  std::size_t g, std::size_t l) {
         const std::size_t row0 = g * mapping.ns_tile;
         const std::size_t col0 = l * mapping.fs_tile;
+        const std::uint16_t *idx0 =
+            indices.data.data() + row0 * indices.cols;
         if (quantized) {
             // INT8 LUT entries, INT32 on-PE accumulators; the host
             // dequantizes after gathering.
             const float scale = layer.quantScale();
             std::vector<std::int32_t> acc(mapping.fs_tile);
             for (std::size_t r = 0; r < mapping.ns_tile; ++r) {
-                std::fill(acc.begin(), acc.end(), 0);
-                for (std::size_t c = 0; c < cb; ++c) {
-                    const std::size_t idx = indices.at(row0 + r, c);
-                    for (std::size_t fcol = 0; fcol < mapping.fs_tile;
-                         ++fcol)
-                        acc[fcol] += layer.quantLutValue(c, idx,
-                                                         col0 + fcol);
-                }
+                kt.lut_accum_i8(idx0 + r * indices.cols, cb, shape.ct,
+                                layer.quantLutData(), shape.f, col0,
+                                mapping.fs_tile, acc.data());
                 float *row = dst + r * stride;
                 for (std::size_t fcol = 0; fcol < mapping.fs_tile; ++fcol)
                     row[fcol] = static_cast<float>(acc[fcol]) * scale;
             }
         } else {
             for (std::size_t r = 0; r < mapping.ns_tile; ++r) {
-                float *row = dst + r * stride;
-                std::fill(row, row + mapping.fs_tile, 0.0f);
-                for (std::size_t c = 0; c < cb; ++c) {
-                    const std::size_t idx = indices.at(row0 + r, c);
-                    for (std::size_t fcol = 0; fcol < mapping.fs_tile;
-                         ++fcol)
-                        row[fcol] += layer.lutValue(c, idx, col0 + fcol);
-                }
+                kt.lut_accum_f32(idx0 + r * indices.cols, cb, shape.ct,
+                                 layer.lutData(), shape.f, col0,
+                                 mapping.fs_tile, dst + r * stride);
             }
         }
     };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 
 namespace pimdl {
 
@@ -34,6 +35,7 @@ gemmBlockRange(const Tensor &a, const Tensor &b, Tensor &c,
 {
     const std::size_t h = a.cols();
     const std::size_t f = b.cols();
+    const kernels::KernelTable &kt = kernels::best();
     for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlock) {
         const std::size_t i1 = std::min(row_end, i0 + kBlock);
         for (std::size_t k0 = 0; k0 < h; k0 += kBlock) {
@@ -43,10 +45,8 @@ gemmBlockRange(const Tensor &a, const Tensor &b, Tensor &c,
                 for (std::size_t i = i0; i < i1; ++i) {
                     float *crow = c.rowPtr(i);
                     for (std::size_t k = k0; k < k1; ++k) {
-                        const float av = a(i, k);
-                        const float *brow = b.rowPtr(k);
-                        for (std::size_t j = j0; j < j1; ++j)
-                            crow[j] += av * brow[j];
+                        kt.axpy_f32(a(i, k), b.rowPtr(k) + j0,
+                                    crow + j0, j1 - j0);
                     }
                 }
             }
@@ -61,6 +61,7 @@ gemm(const Tensor &a, const Tensor &b)
 {
     PIMDL_REQUIRE(a.cols() == b.rows(), "gemm inner dim mismatch");
     Tensor c(a.rows(), b.cols());
+    kernels::recordAxpyWork(a.rows() * a.cols() * b.cols());
 
     const std::size_t shards = parallelWorkerCount();
     if (shards <= 1 || a.rows() < 2 * kBlock) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -93,6 +94,75 @@ TEST(Parallel, ZeroCountIsNoOp)
     bool ran = false;
     parallelFor(0, [&](std::size_t) { ran = true; });
     EXPECT_FALSE(ran);
+}
+
+TEST(ParallelBlocked, CoversEveryIndexExactlyOnce)
+{
+    for (std::size_t grain : {1u, 7u, 16u, 100u}) {
+        std::vector<std::atomic<int>> hits(1000);
+        parallelForBlocked(1000, grain,
+                           [&](std::size_t begin, std::size_t end) {
+                               for (std::size_t i = begin; i < end; ++i)
+                                   hits[i]++;
+                           });
+        for (auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "grain=" << grain;
+    }
+}
+
+TEST(ParallelBlocked, BlocksAlignToGrain)
+{
+    // Every block starts on a grain boundary, and only the final block
+    // may be shorter than the grain.
+    const std::size_t count = 103;
+    const std::size_t grain = 8;
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;
+    parallelForBlocked(count, grain,
+                       [&](std::size_t begin, std::size_t end) {
+                           std::lock_guard<std::mutex> lock(mu);
+                           blocks.emplace_back(begin, end);
+                       });
+    for (const auto &block : blocks) {
+        EXPECT_EQ(block.first % grain, 0u);
+        EXPECT_GT(block.second, block.first);
+        if (block.second != count) {
+            EXPECT_EQ((block.second - block.first) % grain, 0u);
+        }
+    }
+}
+
+TEST(ParallelBlocked, GrainLargerThanCountRunsSingleBlock)
+{
+    int calls = 0;
+    parallelForBlocked(5, 100, [&](std::size_t begin, std::size_t end) {
+        ++calls;
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 5u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelBlocked, ZeroGrainBehavesAsOne)
+{
+    std::vector<std::atomic<int>> hits(64);
+    parallelForBlocked(64, 0, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            hits[i]++;
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelBlocked, PropagatesExceptions)
+{
+    EXPECT_THROW(
+        parallelForBlocked(100, 4,
+                           [](std::size_t begin, std::size_t end) {
+                               if (begin <= 56 && 56 < end)
+                                   throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
 }
 
 TEST(Units, Literals)
