@@ -8,7 +8,7 @@ PR relies on (per-role CCS/LUT split, serving latency percentiles,
 tuner search counters).
 
 Usage: check_metrics.py <snapshot.json> [--require-fault-exec]
-                        [--require-verify]
+                        [--require-verify] [--require-serving-live]
 
 --require-fault-exec additionally requires the fault.lut.* /
 fault.injected.* execution-ladder keys, which only appear when a bench
@@ -18,6 +18,11 @@ actually drove the fault-aware executor (bench_fault_tolerance).
 keys, which only appear when the run had plan verification enabled
 (--verify-plans / PIMDL_VERIFY_PLANS=1), and fails if any verifier
 pass reported an error on a lowered plan.
+
+--require-serving-live additionally requires the serving.live.* keys,
+which only appear when a bench drove the live multithreaded serving
+runtime (bench_serving_live), and fails when the run completed no
+requests or its latency percentiles are not ordered.
 """
 
 import json
@@ -56,6 +61,30 @@ FAULT_EXEC_COUNTERS = [
     "fault.lut.host_fallbacks",
 ]
 FAULT_EXEC_HISTOGRAMS = ["fault.lut.added_latency_s"]
+
+# Only present when a bench drove the live serving runtime.
+SERVING_LIVE_COUNTERS = [
+    "serving.live.requests",
+    "serving.live.rejected",
+    "serving.live.completed",
+    "serving.live.shed",
+    "serving.live.deadline_timeouts",
+    "serving.live.failed_requests",
+    "serving.live.batches",
+    "serving.live.batch_retries",
+    "serving.live.failed_batches",
+]
+SERVING_LIVE_GAUGES = [
+    "serving.live.queue_depth",
+    "serving.live.availability",
+]
+SERVING_LIVE_HISTOGRAMS = [
+    "serving.live.request_latency_s",
+    "serving.live.queue_wait_s",
+    "serving.live.batch_size",
+    "serving.live.batch_service_s",
+    "serving.live.batch_queue_depth",
+]
 
 # Only present when plan verification ran (PIMDL_VERIFY_PLANS=1).
 VERIFY_COUNTERS = [
@@ -97,11 +126,13 @@ def main():
     args = sys.argv[1:]
     require_fault_exec = "--require-fault-exec" in args
     require_verify = "--require-verify" in args
+    require_serving_live = "--require-serving-live" in args
     args = [a for a in args if not a.startswith("--require-")]
     if len(args) != 1:
         fail(
             f"usage: {sys.argv[0]} <snapshot.json> "
-            "[--require-fault-exec] [--require-verify]"
+            "[--require-fault-exec] [--require-verify] "
+            "[--require-serving-live]"
         )
 
     try:
@@ -145,6 +176,32 @@ def main():
                 fail(f"missing fault-exec histogram {name!r}")
             if hist["count"] == 0:
                 fail(f"histogram {name!r} recorded no samples")
+
+    if require_serving_live:
+        for name in SERVING_LIVE_COUNTERS:
+            if name not in snap["counters"]:
+                fail(f"missing serving-live counter {name!r}")
+        for name in SERVING_LIVE_GAUGES:
+            if name not in snap["gauges"]:
+                fail(f"missing serving-live gauge {name!r}")
+        for name in SERVING_LIVE_HISTOGRAMS:
+            hist = snap["histograms"].get(name)
+            if hist is None:
+                fail(f"missing serving-live histogram {name!r}")
+            for field in HISTOGRAM_FIELDS:
+                if field not in hist:
+                    fail(f"histogram {name!r} missing field {field!r}")
+            if hist["count"] == 0:
+                fail(f"histogram {name!r} recorded no samples")
+        if snap["counters"]["serving.live.completed"] == 0:
+            fail("live serving run completed no requests")
+        live = snap["histograms"]["serving.live.request_latency_s"]
+        if not (0 < live["p50"] <= live["p95"] <= live["p99"]):
+            fail(
+                "live serving latency percentiles not ordered: "
+                f"p50={live['p50']} p95={live['p95']} "
+                f"p99={live['p99']}"
+            )
 
     if require_verify:
         for name in VERIFY_COUNTERS:

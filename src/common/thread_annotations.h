@@ -19,6 +19,8 @@
 #ifndef PIMDL_COMMON_THREAD_ANNOTATIONS_H
 #define PIMDL_COMMON_THREAD_ANNOTATIONS_H
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__) && (!defined(SWIG))
@@ -108,6 +110,56 @@ class PIMDL_SCOPED_CAPABILITY MutexLock
 
   private:
     Mutex &mu_;
+};
+
+/**
+ * Annotated condition variable usable with Mutex. Waits release the
+ * mutex while blocked and reacquire it before returning, so guarded
+ * state stays consistent at every point the caller can observe. The
+ * analysis cannot see through std::condition_variable_any's unlock/
+ * relock, so the wait bodies opt out; the public wait entry points
+ * still declare PIMDL_REQUIRES so call sites are checked. Callers must
+ * re-check their predicate in a loop (spurious wakeups happen).
+ */
+class CondVar
+{
+  public:
+    /** Blocks until notified; @p mu must be held, held again on return. */
+    void wait(Mutex &mu) PIMDL_REQUIRES(mu) { waitImpl(mu); }
+
+    /**
+     * Blocks until notified or @p timeout elapses; returns false on
+     * timeout. @p mu is held again on return either way.
+     */
+    template <typename Rep, typename Period>
+    bool
+    waitFor(Mutex &mu, const std::chrono::duration<Rep, Period> &timeout)
+        PIMDL_REQUIRES(mu)
+    {
+        return waitForImpl(
+            mu, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    timeout));
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    /** condition_variable_any unlocks/relocks mu behind the analysis's
+     * back; the REQUIRES contract on the public entry points holds. */
+    void waitImpl(Mutex &mu) PIMDL_NO_THREAD_SAFETY_ANALYSIS
+    {
+        cv_.wait(mu);
+    }
+
+    bool
+    waitForImpl(Mutex &mu, std::chrono::nanoseconds timeout)
+        PIMDL_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+    }
+
+    std::condition_variable_any cv_;
 };
 
 } // namespace pimdl

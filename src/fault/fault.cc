@@ -80,6 +80,15 @@ FaultConfig::validate() const
                   "stall_penalty_s must be finite and non-negative");
 }
 
+double
+cappedBackoff(double base_s, double cap_s, std::size_t retry)
+{
+    double b = base_s;
+    for (std::size_t i = 0; i < retry && b < cap_s; ++i)
+        b *= 2.0;
+    return b < cap_s ? b : cap_s;
+}
+
 void
 RetryPolicy::validate() const
 {

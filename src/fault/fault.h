@@ -81,6 +81,21 @@ struct FaultConfig
     void validate() const;
 };
 
+/**
+ * Capped exponential backoff shared by every retry ladder in the
+ * stack (PE re-execution, serving batch retries): base * 2^retry,
+ * saturating at @p cap_s.
+ */
+double cappedBackoff(double base_s, double cap_s, std::size_t retry);
+
+/**
+ * Draw stream of the serving layer's per-batch fault outcomes. Shared
+ * by the analytical serving simulator and the live serving runtime so
+ * a fixed fault profile injects the same batch-indexed fault sequence
+ * into both — a precondition for cross-validating their goodput.
+ */
+inline constexpr std::uint64_t kServingBatchFaultStream = 101;
+
 /** Capped exponential backoff for retried kernel attempts. */
 struct RetryPolicy
 {
@@ -94,10 +109,7 @@ struct RetryPolicy
     /** Backoff before retry number @p retry (0-based), seconds. */
     double backoffFor(std::size_t retry) const
     {
-        double b = backoff_base_s;
-        for (std::size_t i = 0; i < retry && b < backoff_cap_s; ++i)
-            b *= 2.0;
-        return b < backoff_cap_s ? b : backoff_cap_s;
+        return cappedBackoff(backoff_base_s, backoff_cap_s, retry);
     }
 
     /** Throws std::runtime_error on negative/NaN parameters. */

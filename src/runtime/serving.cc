@@ -12,14 +12,6 @@
 
 namespace pimdl {
 
-namespace {
-
-/** Hash stream of the per-batch outcome draws (distinct from the PE
- * executor's streams in src/fault). */
-constexpr std::uint64_t kServingBatchStream = 101;
-
-} // namespace
-
 void
 ServingFaultProfile::validate() const
 {
@@ -81,10 +73,34 @@ ServingSimulator::batchLatency(std::size_t batch,
     return latency_cache_.emplace(key, est.total_s).first->second;
 }
 
+std::vector<double>
+poissonArrivals(double arrival_rate, double horizon_s, std::uint64_t seed)
+{
+    PIMDL_REQUIRE(std::isfinite(arrival_rate) && arrival_rate > 0.0,
+                  "arrival_rate must be positive (requests/second)");
+    PIMDL_REQUIRE(std::isfinite(horizon_s) && horizon_s > 0.0,
+                  "horizon_s must be positive (seconds)");
+    Rng rng(seed);
+    std::vector<double> arrivals;
+    double t = 0.0;
+    while (true) {
+        const double u = std::max(1e-12f, rng.uniform());
+        t += -std::log(u) / arrival_rate;
+        if (t >= horizon_s)
+            break;
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
 ServingStats
-ServingSimulator::simulate(const ServingConfig &config) const
+simulateServingTrace(const ServingConfig &config,
+                     const std::vector<double> &arrivals,
+                     const BatchLatencyFn &latency)
 {
     config.validate();
+    PIMDL_REQUIRE(std::is_sorted(arrivals.begin(), arrivals.end()),
+                  "arrival trace must be sorted ascending");
 
     obs::TraceSpan span("serving.simulate");
     span.attr("arrival_rate", config.arrival_rate);
@@ -113,18 +129,6 @@ ServingSimulator::simulate(const ServingConfig &config) const
         reg.counter("fault.serving.degraded_batches");
     static obs::Gauge &g_f_avail =
         reg.gauge("fault.serving.availability");
-
-    // Generate Poisson arrivals across the horizon.
-    Rng rng(config.seed);
-    std::vector<double> arrivals;
-    double t = 0.0;
-    while (true) {
-        const double u = std::max(1e-12f, rng.uniform());
-        t += -std::log(u) / config.arrival_rate;
-        if (t >= config.horizon_s)
-            break;
-        arrivals.push_back(t);
-    }
 
     ServingStats stats;
     stats.requests = arrivals.size();
@@ -186,8 +190,7 @@ ServingSimulator::simulate(const ServingConfig &config) const
                 padded <<= 1;
             shape_batch = std::min(padded, config.max_batch);
         }
-        const double base_service =
-            batchLatency(shape_batch, config.policy);
+        const double base_service = latency(shape_batch);
 
         // Per-batch fault outcome: the initial attempt runs at full
         // speed; each retry re-executes on the degraded (remapped)
@@ -207,8 +210,8 @@ ServingSimulator::simulate(const ServingConfig &config) const
                                : base_service *
                                      config.faults.degraded_service_factor;
                 const double u = faultHashUniform(
-                    config.faults.seed, kServingBatchStream, batch_idx,
-                    attempt);
+                    config.faults.seed, kServingBatchFaultStream,
+                    batch_idx, attempt);
                 if (u >= config.faults.batch_fault_rate) {
                     served = true;
                     break;
@@ -290,6 +293,18 @@ ServingSimulator::simulate(const ServingConfig &config) const
     span.attr("batch_retries",
               static_cast<std::uint64_t>(stats.batch_retries));
     return stats;
+}
+
+ServingStats
+ServingSimulator::simulate(const ServingConfig &config) const
+{
+    config.validate();
+    const std::vector<double> arrivals = poissonArrivals(
+        config.arrival_rate, config.horizon_s, config.seed);
+    return simulateServingTrace(
+        config, arrivals, [this, &config](std::size_t batch) {
+            return batchLatency(batch, config.policy);
+        });
 }
 
 } // namespace pimdl

@@ -22,9 +22,12 @@
 #ifndef PIMDL_RUNTIME_SERVING_H
 #define PIMDL_RUNTIME_SERVING_H
 
+#include <functional>
 #include <map>
+#include <vector>
 
 #include "common/thread_annotations.h"
+#include "fault/fault.h"
 #include "runtime/engine.h"
 
 namespace pimdl {
@@ -58,10 +61,7 @@ struct ServingFaultProfile
     /** Backoff before retry number @p retry (0-based), seconds. */
     double backoffFor(std::size_t retry) const
     {
-        double b = backoff_base_s;
-        for (std::size_t i = 0; i < retry && b < backoff_cap_s; ++i)
-            b *= 2.0;
-        return b < backoff_cap_s ? b : backoff_cap_s;
+        return cappedBackoff(backoff_base_s, backoff_cap_s, retry);
     }
 
     /** Throws std::runtime_error on nonsensical parameters. */
@@ -134,6 +134,31 @@ struct ServingStats
     /** Deadline-meeting completions per second (degraded throughput). */
     double goodput_rps = 0.0;
 };
+
+/** Latency model consulted per dispatched batch, seconds. */
+using BatchLatencyFn = std::function<double(std::size_t batch)>;
+
+/**
+ * Poisson arrival times over [0, horizon_s), sorted ascending. This is
+ * the exact stream ServingSimulator::simulate draws, exposed so the
+ * live serving driver can replay the identical open-loop trace through
+ * the real runtime and through the analytical model.
+ */
+std::vector<double> poissonArrivals(double arrival_rate, double horizon_s,
+                                    std::uint64_t seed);
+
+/**
+ * Core discrete-event serving loop over an explicit arrival trace and
+ * an injectable batch-latency model. ServingSimulator::simulate is a
+ * thin wrapper (Poisson arrivals + the engine's analytical latency);
+ * the live-serving cross-validation harness instead replays a measured
+ * arrival trace with a measured batch-latency calibration, so the
+ * queueing/batching/shedding model itself is what gets validated.
+ * @p arrivals must be sorted ascending.
+ */
+ServingStats simulateServingTrace(const ServingConfig &config,
+                                  const std::vector<double> &arrivals,
+                                  const BatchLatencyFn &latency);
 
 /**
  * Simulates batched serving of @p model (its batch field is overridden

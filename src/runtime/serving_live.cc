@@ -1,0 +1,446 @@
+#include "serving_live.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <exception>
+
+#include "common/logging.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
+
+namespace pimdl {
+
+namespace {
+
+/**
+ * Real-time wait slice the batcher polls with when time is virtual: a
+ * ManualClock deadline never expires on its own, so the batcher must
+ * wake periodically and re-read the clock instead of sleeping toward
+ * the deadline.
+ */
+constexpr double kVirtualPollSliceS = 200e-6;
+
+std::size_t
+pow2Bucket(std::size_t batch, std::size_t max_batch)
+{
+    std::size_t padded = 1;
+    while (padded < batch)
+        padded <<= 1;
+    return std::min(padded, max_batch);
+}
+
+} // namespace
+
+const char *
+liveRequestStatusName(LiveRequestStatus status)
+{
+    switch (status) {
+    case LiveRequestStatus::Completed:
+        return "completed";
+    case LiveRequestStatus::TimedOut:
+        return "timed_out";
+    case LiveRequestStatus::Shed:
+        return "shed";
+    case LiveRequestStatus::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+Tensor
+FunctionalBatchExecutor::execute(const Tensor &tokens,
+                                 std::size_t seq_len, bool degraded)
+{
+    LinearBackendKind backend = backend_;
+    if (degraded && backend == LinearBackendKind::PimLut)
+        backend = LinearBackendKind::HostLut;
+    return model_.forward(tokens, seq_len, backend);
+}
+
+void
+LiveServingConfig::validate() const
+{
+    PIMDL_REQUIRE(max_batch > 0, "max_batch must be positive");
+    PIMDL_REQUIRE(std::isfinite(max_wait_s) && max_wait_s >= 0.0,
+                  "max_wait_s must be finite and non-negative");
+    PIMDL_REQUIRE(queue_capacity > 0, "queue_capacity must be positive");
+    PIMDL_REQUIRE(workers > 0, "workers must be positive");
+    PIMDL_REQUIRE(std::isfinite(deadline_s) && deadline_s >= 0.0,
+                  "deadline_s must be finite and non-negative (0 = off)");
+    faults.validate();
+}
+
+LiveServingRuntime::LiveServingRuntime(const LiveServingConfig &config,
+                                       BatchExecutor &executor,
+                                       Clock *clock)
+    : config_((config.validate(), config)), executor_(executor),
+      clock_(clock != nullptr ? clock : &SteadyClock::instance()),
+      request_queue_(config_.queue_capacity),
+      work_queue_(std::max<std::size_t>(2 * config_.workers, 2))
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    m_.requests = &reg.counter("serving.live.requests");
+    m_.rejected = &reg.counter("serving.live.rejected");
+    m_.completed = &reg.counter("serving.live.completed");
+    m_.shed = &reg.counter("serving.live.shed");
+    m_.deadline_timeouts =
+        &reg.counter("serving.live.deadline_timeouts");
+    m_.failed_requests = &reg.counter("serving.live.failed_requests");
+    m_.batches = &reg.counter("serving.live.batches");
+    m_.batch_retries = &reg.counter("serving.live.batch_retries");
+    m_.failed_batches = &reg.counter("serving.live.failed_batches");
+    m_.queue_depth = &reg.gauge("serving.live.queue_depth");
+    m_.availability = &reg.gauge("serving.live.availability");
+    m_.request_latency_s =
+        &reg.histogram("serving.live.request_latency_s");
+    m_.queue_wait_s = &reg.histogram("serving.live.queue_wait_s");
+    m_.batch_size = &reg.histogram("serving.live.batch_size");
+    m_.batch_service_s =
+        &reg.histogram("serving.live.batch_service_s");
+    m_.batch_queue_depth =
+        &reg.histogram("serving.live.batch_queue_depth");
+
+    batcher_ = std::thread(&LiveServingRuntime::batcherLoop, this);
+    workers_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i)
+        workers_.emplace_back(&LiveServingRuntime::workerLoop, this);
+}
+
+LiveServingRuntime::~LiveServingRuntime()
+{
+    drain();
+}
+
+std::optional<std::future<LiveRequestResult>>
+LiveServingRuntime::submit(Tensor input, std::uint64_t tenant)
+{
+    PIMDL_REQUIRE(input.rows() > 0 && input.cols() > 0,
+                  "submitted request tensor must be non-empty");
+    {
+        MutexLock lock(stats_mu_);
+        ++acc_.submitted;
+        if (pinned_rows_ == 0) {
+            pinned_rows_ = input.rows();
+            pinned_cols_ = input.cols();
+        }
+        PIMDL_REQUIRE(input.rows() == pinned_rows_ &&
+                          input.cols() == pinned_cols_,
+                      "every request must match the first request's "
+                      "(seq_len x hidden) shape");
+    }
+    m_.requests->add(1);
+
+    if (draining_.load(std::memory_order_acquire)) {
+        MutexLock lock(stats_mu_);
+        ++acc_.rejected;
+        m_.rejected->add(1);
+        return std::nullopt;
+    }
+
+    auto req = std::make_unique<PendingRequest>();
+    req->id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req->tenant = tenant;
+    req->input = std::move(input);
+    req->enqueue_s = clock_->now();
+    std::future<LiveRequestResult> future = req->promise.get_future();
+
+    if (!request_queue_.tryPush(std::move(req))) {
+        MutexLock lock(stats_mu_);
+        ++acc_.rejected;
+        m_.rejected->add(1);
+        return std::nullopt;
+    }
+    m_.queue_depth->set(static_cast<double>(request_queue_.size()));
+    return future;
+}
+
+void
+LiveServingRuntime::batcherLoop()
+{
+    std::unique_ptr<PendingRequest> front;
+    while (request_queue_.pop(front)) {
+        BatchTask task;
+        task.requests.push_back(std::move(front));
+
+        while (task.requests.size() < config_.max_batch) {
+            const double waited =
+                clock_->now() - task.requests.front()->enqueue_s;
+            const double remaining = config_.max_wait_s - waited;
+            if (remaining <= 0.0)
+                break;
+            std::unique_ptr<PendingRequest> next;
+            const double slice =
+                clock_->isVirtual() ? kVirtualPollSliceS : remaining;
+            if (request_queue_.popFor(next, slice)) {
+                task.requests.push_back(std::move(next));
+            } else if (request_queue_.closed() &&
+                       request_queue_.empty()) {
+                break; // draining: flush the partial batch now
+            }
+            // Otherwise (timeout or spurious wake) the loop re-reads
+            // the clock and re-derives the remaining wait.
+        }
+        m_.queue_depth->set(
+            static_cast<double>(request_queue_.size()));
+        dispatch(std::move(task));
+    }
+    // pop() returned false: the request queue is closed and drained.
+    // No further batches can form, so release the workers.
+    work_queue_.close();
+}
+
+void
+LiveServingRuntime::dispatch(BatchTask &&task)
+{
+    if (config_.deadline_s > 0.0) {
+        const double now = clock_->now();
+        std::vector<std::unique_ptr<PendingRequest>> keep;
+        keep.reserve(task.requests.size());
+        for (auto &req : task.requests) {
+            if (now - req->enqueue_s >= config_.deadline_s)
+                fulfillShed(std::move(req), now);
+            else
+                keep.push_back(std::move(req));
+        }
+        task.requests = std::move(keep);
+        if (task.requests.empty())
+            return;
+    }
+    task.id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+    m_.batch_queue_depth->record(
+        static_cast<double>(work_queue_.size()));
+    // Blocking push: a full work queue is the backpressure that keeps
+    // the batcher at most a few batches ahead of the workers.
+    (void)work_queue_.push(std::move(task));
+}
+
+void
+LiveServingRuntime::fulfillShed(std::unique_ptr<PendingRequest> req,
+                                double now)
+{
+    LiveRequestResult result;
+    result.status = LiveRequestStatus::Shed;
+    result.request_id = req->id;
+    result.tenant = req->tenant;
+    result.enqueue_s = req->enqueue_s;
+    result.done_s = now;
+    result.queue_wait_s = now - req->enqueue_s;
+    result.latency_s = result.queue_wait_s;
+    req->promise.set_value(std::move(result));
+    m_.shed->add(1);
+    MutexLock lock(stats_mu_);
+    ++acc_.shed;
+}
+
+void
+LiveServingRuntime::workerLoop()
+{
+    BatchTask task;
+    while (work_queue_.pop(task))
+        executeBatch(std::move(task));
+}
+
+void
+LiveServingRuntime::executeBatch(BatchTask task)
+{
+    obs::TraceSpan span("serving.live.batch");
+    span.attr("batch_id", task.id);
+    const std::size_t batch = task.requests.size();
+    span.attr("batch_size", static_cast<std::uint64_t>(batch));
+    const std::size_t seq = task.requests.front()->input.rows();
+    const std::size_t hidden = task.requests.front()->input.cols();
+    const std::size_t shape_batch =
+        config_.pow2_buckets ? pow2Bucket(batch, config_.max_batch)
+                             : batch;
+
+    // Stack request rows; padding rows (shape bucketing) stay zero.
+    Tensor tokens(shape_batch * seq, hidden);
+    for (std::size_t i = 0; i < batch; ++i) {
+        const Tensor &in = task.requests[i]->input;
+        std::memcpy(tokens.rowPtr(i * seq), in.rowPtr(0),
+                    seq * hidden * sizeof(float));
+    }
+
+    const ServingFaultProfile &faults = config_.faults;
+    const double start = clock_->now();
+    Tensor output;
+    bool served = false;
+    std::size_t retries = 0;
+    for (std::size_t attempt = 0; attempt <= faults.max_retries;
+         ++attempt) {
+        bool faulted = false;
+        try {
+            output = executor_.execute(tokens, seq, attempt > 0);
+        } catch (const std::exception &) {
+            faulted = true;
+        }
+        if (!faulted && faults.enabled()) {
+            // Same draw stream and keying as the analytical simulator,
+            // so a fixed profile faults the same batch indices here
+            // and there.
+            const double u =
+                faultHashUniform(faults.seed, kServingBatchFaultStream,
+                                 task.id, attempt);
+            faulted = u < faults.batch_fault_rate;
+        }
+        if (!faulted) {
+            served = true;
+            break;
+        }
+        if (attempt == faults.max_retries)
+            break; // retries exhausted: the batch is lost
+        ++retries;
+        clock_->sleepFor(faults.backoffFor(attempt));
+    }
+    const double done = clock_->now();
+    const double service = done - start;
+    span.attr("service_s", service);
+    span.attr("retries", static_cast<std::uint64_t>(retries));
+
+    std::size_t completed = 0;
+    std::size_t in_deadline = 0;
+    std::size_t timed_out = 0;
+    std::vector<double> batch_latencies;
+    std::vector<double> batch_waits;
+    batch_latencies.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+        std::unique_ptr<PendingRequest> &req = task.requests[i];
+        LiveRequestResult result;
+        result.request_id = req->id;
+        result.tenant = req->tenant;
+        result.batch_id = task.id;
+        result.batch_size = batch;
+        result.enqueue_s = req->enqueue_s;
+        result.done_s = done;
+        result.queue_wait_s = start - req->enqueue_s;
+        result.service_s = service;
+        result.latency_s = done - req->enqueue_s;
+        if (!served) {
+            result.status = LiveRequestStatus::Failed;
+            m_.failed_requests->add(1);
+        } else {
+            const bool late = config_.deadline_s > 0.0 &&
+                              result.latency_s > config_.deadline_s;
+            result.status = late ? LiveRequestStatus::TimedOut
+                                 : LiveRequestStatus::Completed;
+            ++completed;
+            if (late)
+                ++timed_out;
+            else
+                ++in_deadline;
+            batch_latencies.push_back(result.latency_s);
+            batch_waits.push_back(result.queue_wait_s);
+            m_.request_latency_s->record(result.latency_s);
+            m_.queue_wait_s->record(result.queue_wait_s);
+            if (config_.collect_outputs) {
+                Tensor slice(seq, hidden);
+                std::memcpy(slice.rowPtr(0), output.rowPtr(i * seq),
+                            seq * hidden * sizeof(float));
+                result.output = std::move(slice);
+            }
+        }
+        req->promise.set_value(std::move(result));
+    }
+
+    m_.completed->add(completed);
+    m_.deadline_timeouts->add(timed_out);
+    m_.batches->add(1);
+    m_.batch_retries->add(retries);
+    if (!served)
+        m_.failed_batches->add(1);
+    m_.batch_size->record(static_cast<double>(batch));
+    m_.batch_service_s->record(service);
+
+    MutexLock lock(stats_mu_);
+    acc_.completed += completed;
+    acc_.completed_in_deadline += in_deadline;
+    acc_.timed_out += timed_out;
+    if (!served)
+        acc_.failed_requests += batch;
+    ++acc_.batches;
+    acc_.batch_retries += retries;
+    if (!served)
+        ++acc_.failed_batches;
+    else if (retries > 0)
+        ++acc_.degraded_batches;
+    batch_size_sum_ += static_cast<double>(batch);
+    acc_.busy_s += service;
+    latencies_.insert(latencies_.end(), batch_latencies.begin(),
+                      batch_latencies.end());
+    queue_waits_.insert(queue_waits_.end(), batch_waits.begin(),
+                        batch_waits.end());
+}
+
+void
+LiveServingRuntime::drain()
+{
+    MutexLock lock(drain_mu_);
+    if (drained_)
+        return;
+    drained_ = true;
+    draining_.store(true, std::memory_order_release);
+    request_queue_.close();
+    if (batcher_.joinable())
+        batcher_.join();
+    // The batcher closed the work queue on exit; workers drain it.
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    m_.availability->set(stats().availability);
+    m_.queue_depth->set(0.0);
+}
+
+LiveServingStats
+LiveServingRuntime::statsLocked() const
+{
+    LiveServingStats stats = acc_;
+    if (stats.batches > 0)
+        stats.mean_batch_size =
+            batch_size_sum_ / static_cast<double>(stats.batches);
+    if (!latencies_.empty()) {
+        std::vector<double> sorted = latencies_;
+        std::sort(sorted.begin(), sorted.end());
+        auto percentile = [&](double p) {
+            const std::size_t idx = static_cast<std::size_t>(
+                p * static_cast<double>(sorted.size() - 1));
+            return sorted[idx];
+        };
+        double sum = 0.0;
+        for (double l : sorted)
+            sum += l;
+        stats.mean_latency_s =
+            sum / static_cast<double>(sorted.size());
+        stats.p50_latency_s = percentile(0.50);
+        stats.p95_latency_s = percentile(0.95);
+        stats.p99_latency_s = percentile(0.99);
+    }
+    if (!queue_waits_.empty()) {
+        double sum = 0.0;
+        for (double w : queue_waits_)
+            sum += w;
+        stats.mean_queue_wait_s =
+            sum / static_cast<double>(queue_waits_.size());
+    }
+    const std::size_t admitted = stats.submitted - stats.rejected;
+    if (admitted > 0)
+        stats.availability =
+            static_cast<double>(stats.completed_in_deadline) /
+            static_cast<double>(admitted);
+    return stats;
+}
+
+LiveServingStats
+LiveServingRuntime::stats() const
+{
+    MutexLock lock(stats_mu_);
+    return statsLocked();
+}
+
+std::size_t
+LiveServingRuntime::queueDepth() const
+{
+    return request_queue_.size();
+}
+
+} // namespace pimdl

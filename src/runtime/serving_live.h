@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Live multithreaded serving runtime with continuous batching.
+ *
+ * The analytical counterpart (runtime/serving.h) predicts batched
+ * serving behavior from engine estimates; this module executes it:
+ * request submitters feed a bounded MPMC queue (admission control — a
+ * full queue rejects instead of buffering unboundedly), a batcher
+ * thread forms batches under a max-batch/max-wait policy, and a worker
+ * pool drives a real executor (the functional transformer) while the
+ * batcher keeps forming the next batch — continuous batching. Batches
+ * ride the same deterministic fault/retry ladder as the simulator
+ * (shared draw stream kServingBatchFaultStream), and requests past
+ * their deadline are shed at dispatch.
+ *
+ * Every time-dependent decision (max-wait, deadlines, backoff) reads
+ * an injectable Clock, so tests drive a ManualClock and stay
+ * deterministic under arbitrary CI load; production uses SteadyClock.
+ */
+
+#ifndef PIMDL_RUNTIME_SERVING_LIVE_H
+#define PIMDL_RUNTIME_SERVING_LIVE_H
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mpmc_queue.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "runtime/functional_transformer.h"
+#include "runtime/serving.h"
+#include "tensor/tensor.h"
+
+namespace pimdl {
+
+/** Terminal outcome of one admitted request. */
+enum class LiveRequestStatus
+{
+    /** Served within the deadline (or no deadline configured). */
+    Completed,
+    /** Served, but past the per-request deadline. */
+    TimedOut,
+    /** Dropped at dispatch: already past deadline before execution. */
+    Shed,
+    /** Lost to a batch that exhausted its retries. */
+    Failed,
+};
+
+/** Human-readable status name. */
+const char *liveRequestStatusName(LiveRequestStatus status);
+
+/** What a submitter's future resolves to. */
+struct LiveRequestResult
+{
+    LiveRequestStatus status = LiveRequestStatus::Failed;
+    std::uint64_t request_id = 0;
+    std::uint64_t tenant = 0;
+    /** Batch the request executed in (0 when shed pre-dispatch). */
+    std::uint64_t batch_id = 0;
+    /** Requests in that batch (0 when shed pre-dispatch). */
+    std::size_t batch_size = 0;
+    /** Clock timestamps, seconds since the clock's epoch. */
+    double enqueue_s = 0.0;
+    double done_s = 0.0;
+    /** Time spent queued before the batch started executing. */
+    double queue_wait_s = 0.0;
+    /** Batch execution time (retries and backoff included). */
+    double service_s = 0.0;
+    /** End-to-end latency: done_s - enqueue_s. */
+    double latency_s = 0.0;
+    /** Per-request output rows (empty unless Completed/TimedOut and
+     * the runtime was configured to collect outputs). */
+    Tensor output;
+};
+
+/**
+ * What the worker pool runs per dispatched batch. Implementations may
+ * throw to signal a batch fault; the runtime catches and retries it on
+ * the same ladder as injected faults.
+ */
+class BatchExecutor
+{
+  public:
+    virtual ~BatchExecutor() = default;
+
+    /**
+     * Executes @p tokens ((batch*seq_len) x hidden) and returns the
+     * output with identical shape. @p degraded is true on retry
+     * attempts: implementations may fall back to a slower-but-safer
+     * path (mirroring the simulator's degraded service factor).
+     */
+    virtual Tensor execute(const Tensor &tokens, std::size_t seq_len,
+                           bool degraded) = 0;
+};
+
+/**
+ * BatchExecutor over a FunctionalTransformer. Degraded (retry)
+ * attempts of a PimLut backend fall back to HostLut — the functional
+ * analogue of re-executing on the remapped engine.
+ */
+class FunctionalBatchExecutor final : public BatchExecutor
+{
+  public:
+    FunctionalBatchExecutor(const FunctionalTransformer &model,
+                            LinearBackendKind backend)
+        : model_(model), backend_(backend)
+    {}
+
+    Tensor execute(const Tensor &tokens, std::size_t seq_len,
+                   bool degraded) override;
+
+  private:
+    const FunctionalTransformer &model_;
+    LinearBackendKind backend_;
+};
+
+/** Policy knobs of the live runtime. */
+struct LiveServingConfig
+{
+    /** Largest number of requests batched into one dispatch. */
+    std::size_t max_batch = 8;
+    /** Dispatch a partial batch once its oldest request waited this
+     * long, seconds. */
+    double max_wait_s = 2e-3;
+    /** Admission bound: submits beyond this depth are rejected. */
+    std::size_t queue_capacity = 256;
+    /** Worker threads executing dispatched batches. */
+    std::size_t workers = 1;
+    /** Per-request deadline, seconds; 0 disables shedding/timeouts. */
+    double deadline_s = 0.0;
+    /** Pad dispatched batches to the next power of two (bounded by
+     * max_batch), matching the simulator's shape bucketing. */
+    bool pow2_buckets = true;
+    /** Slice per-request outputs out of the batch output (off for
+     * load tests that only measure latency). */
+    bool collect_outputs = true;
+    /** Per-batch fault semantics, shared with the simulator. */
+    ServingFaultProfile faults;
+
+    /** Throws std::runtime_error with a field-naming message. */
+    void validate() const;
+};
+
+/** Aggregate counters and latency stats of a runtime's lifetime. */
+struct LiveServingStats
+{
+    /** submit() calls, including rejected ones. */
+    std::size_t submitted = 0;
+    /** Submits refused at the admission boundary. */
+    std::size_t rejected = 0;
+    /** Requests served (deadline met or no deadline). */
+    std::size_t completed = 0;
+    /** Completed requests that met the deadline (== completed when no
+     * deadline is configured). */
+    std::size_t completed_in_deadline = 0;
+    /** Requests served past the deadline. */
+    std::size_t timed_out = 0;
+    /** Requests dropped at dispatch (already past deadline). */
+    std::size_t shed = 0;
+    /** Requests lost to batches that exhausted retries. */
+    std::size_t failed_requests = 0;
+    std::size_t batches = 0;
+    std::size_t batch_retries = 0;
+    std::size_t failed_batches = 0;
+    /** Batches that completed but needed at least one retry. */
+    std::size_t degraded_batches = 0;
+    double mean_batch_size = 0.0;
+    /** Total batch execution time across workers, seconds. */
+    double busy_s = 0.0;
+    /** Latency over served requests (queueing + service), seconds. */
+    double mean_latency_s = 0.0;
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+    double mean_queue_wait_s = 0.0;
+    /** completed_in_deadline / admitted (submitted - rejected). */
+    double availability = 1.0;
+};
+
+/**
+ * The live serving runtime: one batcher thread, a worker pool, and a
+ * bounded request queue between submitters and the batcher. Construct,
+ * submit() from any number of threads, then drain() (or destroy) to
+ * stop: in-flight and queued requests complete, new submits reject.
+ */
+class LiveServingRuntime
+{
+  public:
+    /**
+     * Starts the batcher and worker threads. @p executor outlives the
+     * runtime. @p clock defaults to the process SteadyClock; tests
+     * inject a ManualClock.
+     */
+    LiveServingRuntime(const LiveServingConfig &config,
+                       BatchExecutor &executor, Clock *clock = nullptr);
+
+    /** Drains: blocks until every admitted request resolved. */
+    ~LiveServingRuntime();
+
+    LiveServingRuntime(const LiveServingRuntime &) = delete;
+    LiveServingRuntime &operator=(const LiveServingRuntime &) = delete;
+
+    /**
+     * Submits @p input (seq_len x hidden rows; every request must
+     * share the first request's shape). Returns the future resolving
+     * to the request's outcome, or nullopt when admission control
+     * rejects (queue full or runtime draining).
+     */
+    std::optional<std::future<LiveRequestResult>>
+    submit(Tensor input, std::uint64_t tenant = 0)
+        PIMDL_EXCLUDES(stats_mu_);
+
+    /**
+     * Stops accepting requests, flushes the queue through the batcher,
+     * waits for every in-flight batch, and joins all threads.
+     * Idempotent; called by the destructor.
+     */
+    void drain() PIMDL_EXCLUDES(drain_mu_);
+
+    /** Aggregate stats so far (safe to call while serving). */
+    LiveServingStats stats() const PIMDL_EXCLUDES(stats_mu_);
+
+    /** Requests currently waiting for the batcher. */
+    std::size_t queueDepth() const;
+
+    const LiveServingConfig &config() const { return config_; }
+
+  private:
+    struct PendingRequest
+    {
+        std::uint64_t id = 0;
+        std::uint64_t tenant = 0;
+        Tensor input;
+        double enqueue_s = 0.0;
+        std::promise<LiveRequestResult> promise;
+    };
+
+    struct BatchTask
+    {
+        std::uint64_t id = 0;
+        std::vector<std::unique_ptr<PendingRequest>> requests;
+    };
+
+    /** References into the process metrics registry (serving.live.*),
+     * resolved once at construction. */
+    struct LiveMetrics
+    {
+        obs::Counter *requests = nullptr;
+        obs::Counter *rejected = nullptr;
+        obs::Counter *completed = nullptr;
+        obs::Counter *shed = nullptr;
+        obs::Counter *deadline_timeouts = nullptr;
+        obs::Counter *failed_requests = nullptr;
+        obs::Counter *batches = nullptr;
+        obs::Counter *batch_retries = nullptr;
+        obs::Counter *failed_batches = nullptr;
+        obs::Gauge *queue_depth = nullptr;
+        obs::Gauge *availability = nullptr;
+        obs::Histogram *request_latency_s = nullptr;
+        obs::Histogram *queue_wait_s = nullptr;
+        obs::Histogram *batch_size = nullptr;
+        obs::Histogram *batch_service_s = nullptr;
+        obs::Histogram *batch_queue_depth = nullptr;
+    };
+
+    void batcherLoop();
+    void workerLoop();
+    /** Sheds past-deadline requests, assigns the batch id, enqueues. */
+    void dispatch(BatchTask &&task) PIMDL_EXCLUDES(stats_mu_);
+    void executeBatch(BatchTask task) PIMDL_EXCLUDES(stats_mu_);
+    void fulfillShed(std::unique_ptr<PendingRequest> req, double now)
+        PIMDL_EXCLUDES(stats_mu_);
+    LiveServingStats statsLocked() const PIMDL_REQUIRES(stats_mu_);
+
+    LiveServingConfig config_;
+    BatchExecutor &executor_;
+    Clock *clock_;
+    LiveMetrics m_;
+
+    BoundedMpmcQueue<std::unique_ptr<PendingRequest>> request_queue_;
+    /** Small bound: backpressure that keeps the batcher at most a few
+     * batches ahead of the workers (continuous batching, not
+     * unbounded buffering). */
+    BoundedMpmcQueue<BatchTask> work_queue_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> next_request_id_{1};
+    std::atomic<std::uint64_t> next_batch_id_{1};
+
+    /** Serializes drain() callers (destructor vs explicit drain). */
+    mutable Mutex drain_mu_;
+    bool drained_ PIMDL_GUARDED_BY(drain_mu_) = false;
+
+    mutable Mutex stats_mu_;
+    LiveServingStats acc_ PIMDL_GUARDED_BY(stats_mu_);
+    double batch_size_sum_ PIMDL_GUARDED_BY(stats_mu_) = 0.0;
+    std::vector<double> latencies_ PIMDL_GUARDED_BY(stats_mu_);
+    std::vector<double> queue_waits_ PIMDL_GUARDED_BY(stats_mu_);
+    /** Shape pin: every request must match the first one. */
+    std::size_t pinned_rows_ PIMDL_GUARDED_BY(stats_mu_) = 0;
+    std::size_t pinned_cols_ PIMDL_GUARDED_BY(stats_mu_) = 0;
+
+    std::thread batcher_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_RUNTIME_SERVING_LIVE_H
