@@ -28,7 +28,7 @@ main(int argc, char **argv)
         pimdl::bench::parseBenchArgs(argc, argv);
     printBanner(std::cout, "Figure 10-(a): End-to-end throughput");
 
-    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual(), opts.backend);
     const HostProcessorConfig cpu = xeonGold5218Dual();
     const LutNnParams v2{2, 16};
     const LutNnParams v4{4, 16};

@@ -22,7 +22,7 @@ main(int argc, char **argv)
 {
     const pimdl::bench::BenchOptions opts =
         pimdl::bench::parseBenchArgs(argc, argv);
-    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual(), opts.backend);
     const HostModel cpu_int8(xeonGold5218Dual());
     const LutNnParams v4{4, 16};
 

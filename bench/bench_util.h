@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "obs/snapshot.h"
 #include "plan/schedule.h"
 #include "verify/verify.h"
@@ -47,7 +48,27 @@ struct BenchOptions
     /** Run the plan verifier on every lowered plan (--verify-plans;
      * also enabled by the PIMDL_VERIFY_PLANS environment variable). */
     bool verify_plans = false;
+    /** Timing backend (--backend; default: PIMDL_BACKEND env or
+     * analytical, see defaultTimingBackendKind()). */
+    TimingBackendKind backend = TimingBackendKind::Analytical;
 };
+
+/**
+ * Parses a --backend value; exits with the valid spellings on anything
+ * else so a typo fails loudly instead of silently running the default
+ * backend.
+ */
+inline TimingBackendKind
+parseBackendKind(const std::string &name)
+{
+    TimingBackendKind kind = TimingBackendKind::Analytical;
+    if (!parseTimingBackendKind(name, &kind)) {
+        std::cerr << "unknown --backend '" << name
+                  << "' (valid: analytical, transaction)\n";
+        std::exit(2);
+    }
+    return kind;
+}
 
 /**
  * Parses a --policy value; exits with the valid spellings on anything
@@ -133,16 +154,25 @@ parseBenchArgs(int argc, char **argv,
                const std::string &extra_usage = "")
 {
     BenchOptions opts;
+    try {
+        opts.backend = defaultTimingBackendKind();
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+    }
     const auto usage = [&](std::ostream &out) {
         out << "usage: " << argv[0]
             << " [--smoke] [--verify-plans] [--metrics-out <file>]"
                " [--trace-out <file>]"
+               " [--backend analytical|transaction]"
             << extra_usage << "\n";
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (extra && extra(arg, argc, argv, i)) {
             continue;
+        } else if (arg == "--backend" && i + 1 < argc) {
+            opts.backend = parseBackendKind(argv[++i]);
         } else if (arg == "--metrics-out" && i + 1 < argc) {
             opts.metrics_out = argv[++i];
         } else if (arg == "--trace-out" && i + 1 < argc) {

@@ -9,6 +9,7 @@ tuner search counters).
 
 Usage: check_metrics.py <snapshot.json> [--require-fault-exec]
                         [--require-verify] [--require-serving-live]
+                        [--require-backend-xval]
 
 --require-fault-exec additionally requires the fault.lut.* /
 fault.injected.* execution-ladder keys, which only appear when a bench
@@ -23,6 +24,12 @@ pass reported an error on a lowered plan.
 which only appear when a bench drove the live multithreaded serving
 runtime (bench_serving_live), and fails when the run completed no
 requests or its latency percentiles are not ordered.
+
+--require-backend-xval additionally requires the backend.* keys, which
+only appear when a bench ran the transaction-level timing backend and
+published its cross-validation errors (bench_backend_xval), and fails
+when the transaction simulator issued no commands or the mean
+analytical-vs-transaction relative error reaches the committed bound.
 """
 
 import json
@@ -86,6 +93,20 @@ SERVING_LIVE_HISTOGRAMS = [
     "serving.live.batch_queue_depth",
 ]
 
+# Only present when a bench drove the transaction timing backend and
+# published cross-validation errors (bench_backend_xval).
+BACKEND_XVAL_COUNTERS = [
+    "backend.txn.commands_issued",
+    "backend.txn.bank_conflicts",
+    "backend.txn.mode_switches",
+]
+BACKEND_XVAL_GAUGES = [
+    "backend.impl",
+    "backend.xval.mean_rel_err",
+    "backend.xval.max_rel_err",
+    "backend.xval.bound",
+]
+
 # Only present when plan verification ran (PIMDL_VERIFY_PLANS=1).
 VERIFY_COUNTERS = [
     "verify.plans_verified",
@@ -127,12 +148,13 @@ def main():
     require_fault_exec = "--require-fault-exec" in args
     require_verify = "--require-verify" in args
     require_serving_live = "--require-serving-live" in args
+    require_backend_xval = "--require-backend-xval" in args
     args = [a for a in args if not a.startswith("--require-")]
     if len(args) != 1:
         fail(
             f"usage: {sys.argv[0]} <snapshot.json> "
             "[--require-fault-exec] [--require-verify] "
-            "[--require-serving-live]"
+            "[--require-serving-live] [--require-backend-xval]"
         )
 
     try:
@@ -201,6 +223,25 @@ def main():
                 "live serving latency percentiles not ordered: "
                 f"p50={live['p50']} p95={live['p95']} "
                 f"p99={live['p99']}"
+            )
+
+    if require_backend_xval:
+        for name in BACKEND_XVAL_COUNTERS:
+            if name not in snap["counters"]:
+                fail(f"missing backend counter {name!r}")
+        for name in BACKEND_XVAL_GAUGES:
+            if name not in snap["gauges"]:
+                fail(f"missing backend gauge {name!r}")
+        if snap["counters"]["backend.txn.commands_issued"] == 0:
+            fail("transaction backend issued no commands")
+        mean_err = snap["gauges"]["backend.xval.mean_rel_err"]
+        bound = snap["gauges"]["backend.xval.bound"]
+        if not 0 < bound <= 1:
+            fail(f"implausible backend xval bound {bound}")
+        if mean_err >= bound:
+            fail(
+                "backend cross-validation mean relative error "
+                f"{mean_err:.4f} >= committed bound {bound:.4f}"
             )
 
     if require_verify:

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * AnalyticalBackend: the paper's closed-form latency model (Equations
+ * 3-10 for LUT operators, roofline host models, the PIM-GEMM GEMV
+ * calibration) behind the TimingBackend interface. This is a
+ * golden-preserving relocation of the costing that used to live inside
+ * PimDlEngine::costNode — the pinned seed estimates reproduce to
+ * <= 1e-12 relative (tests/test_backend.cc).
+ */
+
+#ifndef PIMDL_BACKEND_ANALYTICAL_H
+#define PIMDL_BACKEND_ANALYTICAL_H
+
+#include "backend/backend.h"
+
+namespace pimdl {
+
+/** Roofline latency of a host-device plan node, seconds. */
+double analyticalHostNodeSeconds(const HostModel &hm, const Plan &plan,
+                                 const PlanNode &node);
+
+/**
+ * Closed-form components of a PIM-offloaded GEMM linear (the PIM-GEMM
+ * baseline of Figure 10). Shared with the transaction backend, which
+ * turns the same quantities into compute/stream/transfer commands so
+ * both tiers agree on first-order magnitudes by construction.
+ */
+struct PimGemmProfile
+{
+    /** Wall compute time across the lock-step PE array, seconds. */
+    double compute_s = 0.0;
+    /** Wall weight-streaming time (overlaps compute), seconds. */
+    double stream_s = 0.0;
+    /** Activation broadcast into the module, seconds. */
+    double transfer_in_s = 0.0;
+    /** Result gather back to the host, seconds. */
+    double transfer_out_s = 0.0;
+    /** Serial GEMV command-issue overhead (HBM-PIM/AiM), seconds. */
+    double cmd_overhead_s = 0.0;
+};
+
+PimGemmProfile analyticalPimGemmProfile(const PimPlatformConfig &platform,
+                                        std::size_t n, std::size_t h,
+                                        std::size_t f, HostDtype dtype,
+                                        std::size_t batch);
+
+/** max(compute, stream) + transfers + command overhead, seconds. */
+double analyticalPimGemmSeconds(const PimPlatformConfig &platform,
+                                std::size_t n, std::size_t h,
+                                std::size_t f, HostDtype dtype,
+                                std::size_t batch);
+
+/** The closed-form timing backend (paper Equations 3-10). */
+class AnalyticalBackend final : public TimingBackend
+{
+  public:
+    AnalyticalBackend(PimPlatformConfig platform,
+                      HostProcessorConfig host);
+
+    const char *name() const override { return "analytical"; }
+    TimingBackendKind kind() const override
+    {
+        return TimingBackendKind::Analytical;
+    }
+
+    NodeCost costNode(const Plan &plan,
+                      const PlanNode &node) const override;
+
+    LutCostBreakdown lutCost(const LutWorkloadShape &shape,
+                             const LutMapping &mapping) const override;
+
+  private:
+    PimPlatformConfig platform_;
+    HostModel host_;
+};
+
+} // namespace pimdl
+
+#endif // PIMDL_BACKEND_ANALYTICAL_H

@@ -1,20 +1,22 @@
 #include "engine.h"
 
-#include <algorithm>
 #include <utility>
 
-#include "common/logging.h"
+#include "backend/analytical.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "tuner/cost_model.h"
 #include "verify/verify.h"
 
 namespace pimdl {
 
 PimDlEngine::PimDlEngine(PimPlatformConfig platform,
-                         HostProcessorConfig host)
-    : platform_(platform), host_(std::move(host)),
-      tuner_(std::move(platform)), tune_memo_(tuner_)
+                         HostProcessorConfig host,
+                         TimingBackendKind backend_kind,
+                         const TransactionSimConfig &txn_config)
+    : platform_(platform), host_(host), tuner_(platform),
+      tune_memo_(tuner_),
+      backend_(makeTimingBackend(backend_kind, std::move(platform),
+                                 std::move(host), txn_config))
 {}
 
 namespace {
@@ -32,26 +34,6 @@ hostDtypeLabel(HostDtype dtype)
         return "FP16";
     }
     return "?";
-}
-
-/** Roofline latency of a host-device plan node. */
-double
-hostNodeSeconds(const HostModel &hm, const Plan &plan,
-                const PlanNode &node)
-{
-    switch (node.kind) {
-    case PlanOpKind::Ccs:
-        return hm.ccsSeconds(node.n, node.h, plan.params.centroids,
-                             plan.params.subvec_len);
-    case PlanOpKind::Gemm:
-        return hm.gemmSeconds(node.n, node.h, node.f, node.dtype);
-    case PlanOpKind::Attention:
-        return hm.attentionSeconds(node.n, node.h, node.f, node.dtype);
-    case PlanOpKind::Elementwise:
-        return hm.elementwiseSeconds(node.ew_ops, node.ew_bytes);
-    default:
-        return 0.0;
-    }
 }
 
 /** Publishes the metrics the seed engine exported for PIM-DL runs. */
@@ -102,57 +84,6 @@ PimDlEngine::lower(const TransformerConfig &model,
     return plan;
 }
 
-NodeCost
-PimDlEngine::costNode(const Plan &plan, const PlanNode &node) const
-{
-    NodeCost cost;
-    switch (node.kind) {
-    case PlanOpKind::LutOp: {
-        PIMDL_REQUIRE(node.mapping_attached,
-                      "LutOp node costed before a mapping was attached");
-        const LutCostBreakdown lut =
-            evaluateLutMapping(platform_, node.lut_shape, node.mapping);
-        PIMDL_REQUIRE(lut.legal,
-                      "mapping illegal for workload " +
-                          std::string(linearRoleName(node.role)) + ": " +
-                          lut.illegal_reason);
-        cost.seconds = lut.total();
-        break;
-    }
-    case PlanOpKind::Gemm:
-        if (node.device == PlanDevice::Pim) {
-            cost.seconds = pimGemmLinearSeconds(node.n, node.h, node.f,
-                                                node.dtype,
-                                                plan.model.batch) +
-                           platform_.kernel_launch_overhead_s;
-        } else {
-            cost.seconds = hostNodeSeconds(host_, plan, node);
-        }
-        break;
-    case PlanOpKind::Elementwise:
-        if (node.device == PlanDevice::Pim) {
-            // Bandwidth-bound elementwise work on the bank-level units
-            // (paper Figure 6-(b) offloading choice).
-            cost.seconds =
-                std::max(node.ew_ops / platform_.totalAddThroughput(),
-                         node.ew_bytes / platform_.totalStreamBandwidth());
-        } else {
-            cost.seconds = hostNodeSeconds(host_, plan, node);
-        }
-        break;
-    case PlanOpKind::HostPimTransfer:
-        // Transfer latency is folded into the producing op's analytical
-        // cost; transfer nodes carry the unique link-traffic accounting.
-        cost.link_bytes = node.transfer_bytes;
-        break;
-    case PlanOpKind::Ccs:
-    case PlanOpKind::Attention:
-        cost.seconds = hostNodeSeconds(host_, plan, node);
-        break;
-    }
-    return cost;
-}
-
 CostedPlan
 PimDlEngine::cost(const Plan &plan) const
 {
@@ -163,12 +94,7 @@ PimDlEngine::cost(const Plan &plan) const
     if (verify::verifyPlansEnabled())
         verify::verifyPlanOrThrow(plan, &platform_);
 
-    CostedPlan costed;
-    costed.plan = plan;
-    costed.costs.reserve(plan.nodes.size());
-    for (const PlanNode &node : plan.nodes)
-        costed.costs.push_back(costNode(plan, node));
-    return costed;
+    return backend_->cost(plan);
 }
 
 InferenceEstimate
@@ -280,67 +206,6 @@ PimDlEngine::estimateHostOnly(const TransformerConfig &model,
                     schedulerFor(SchedulePolicy::Sequential), dtype);
 }
 
-double
-PimDlEngine::pimGemmLinearSeconds(std::size_t n, std::size_t h,
-                                  std::size_t f, HostDtype dtype,
-                                  std::size_t batch) const
-{
-    const double elem = hostDtypeBytes(dtype);
-    const double ops = 2.0 * static_cast<double>(n) * h * f;
-    const double num_pes = static_cast<double>(platform_.num_pes);
-
-    if (platform_.product == PimProduct::UpmemDimm) {
-        // DPUs have no hardware multiplier: a MAC costs one microcoded
-        // multiply plus one add. Compute utterly dominates.
-        const double mac_rate =
-            1.0 / (1.0 / platform_.pe_mul_ops_per_s +
-                   1.0 / platform_.pe_add_ops_per_s);
-        const double compute = (ops / 2.0) / (mac_rate * num_pes);
-
-        // Activation broadcast and result gather (eq. 4 pattern), with the
-        // same group/lane partition as LUT operators.
-        const double act_bytes = static_cast<double>(n) * h * elem;
-        const double out_bytes = static_cast<double>(n) * f * 4.0;
-        const double transfer =
-            act_bytes / platform_.host_broadcast.peak * 8.0 +
-            out_bytes / platform_.host_gather.peak;
-
-        // Weights stream from MRAM once per activation row block.
-        const double weight_bytes_per_pe = static_cast<double>(h) * f *
-                                           elem / num_pes *
-                                           (static_cast<double>(n) / 64.0);
-        const double stream =
-            weight_bytes_per_pe / platform_.pe_stream.peak;
-        return std::max(compute, stream) + transfer;
-    }
-
-    // HBM-PIM / AiM: bank-level GEMV engines. Batched GEMM degenerates
-    // into per-row GEMV commands that re-stream the full weight matrix
-    // from the banks; the GEMV dataflow's utilization improves with
-    // wider (flatter) matrices and degrades as the batch grows (paper
-    // Section 6.7). The utilization curve below is a calibration
-    // parameter documented in DESIGN.md.
-    const double weight_stream_bytes =
-        static_cast<double>(n) * h * f * elem;
-    // The GEMV command stream keeps only a small slice of the banks
-    // busy: wider matrices help, batching hurts, and AiM's GEMV engine
-    // (purpose-built MAC-per-bank) sustains about twice HBM-PIM's
-    // utilization.
-    const double product_factor =
-        platform_.product == PimProduct::Aim ? 2.0 : 1.0;
-    const double shape_util =
-        std::min(1.0, (0.02 + static_cast<double>(h) / 80000.0) *
-                          product_factor);
-    const double batch_penalty = 1.0 + 0.16 * static_cast<double>(batch);
-    const double eff_bw =
-        platform_.totalStreamBandwidth() * shape_util / batch_penalty;
-    const double stream = weight_stream_bytes / eff_bw;
-    const double compute = ops / platform_.totalAddThroughput();
-    const double cmd_overhead =
-        static_cast<double>(n) * platform_.kernel_launch_overhead_s;
-    return std::max(stream, compute) + cmd_overhead;
-}
-
 InferenceEstimate
 estimateHostInference(const HostProcessorConfig &host,
                       const TransformerConfig &model, HostDtype dtype)
@@ -355,7 +220,8 @@ estimateHostInference(const HostProcessorConfig &host,
     costed.plan = plan;
     costed.costs.reserve(plan.nodes.size());
     for (const PlanNode &node : plan.nodes)
-        costed.costs.push_back({hostNodeSeconds(hm, plan, node), 0.0});
+        costed.costs.push_back(
+            {analyticalHostNodeSeconds(hm, plan, node), 0.0});
 
     ScheduleResult scheduled =
         schedulerFor(SchedulePolicy::Sequential).schedule(costed);

@@ -19,6 +19,9 @@
 #ifndef PIMDL_RUNTIME_ENGINE_H
 #define PIMDL_RUNTIME_ENGINE_H
 
+#include <memory>
+
+#include "backend/backend.h"
 #include "host/host_model.h"
 #include "nn/model_config.h"
 #include "plan/estimate.h"
@@ -33,10 +36,21 @@ namespace pimdl {
 class PimDlEngine
 {
   public:
-    PimDlEngine(PimPlatformConfig platform, HostProcessorConfig host);
+    /**
+     * @p backend_kind selects the timing backend every estimate flows
+     * through (default: the PIMDL_BACKEND environment variable, else
+     * analytical); @p txn_config parameterizes the transaction-level
+     * simulator and is ignored by the analytical backend.
+     */
+    PimDlEngine(PimPlatformConfig platform, HostProcessorConfig host,
+                TimingBackendKind backend_kind = defaultTimingBackendKind(),
+                const TransactionSimConfig &txn_config = {});
 
     const PimPlatformConfig &platform() const { return platform_; }
     const HostModel &host() const { return host_; }
+    /** The timing backend node costs come from. */
+    const TimingBackend &backend() const { return *backend_; }
+    TimingBackendKind backendKind() const { return backend_->kind(); }
     /** Shared memoized auto-tuner (also used by functional execution). */
     const TuneMemo &tuneMemo() const { return tune_memo_; }
 
@@ -100,15 +114,15 @@ class PimDlEngine
      * Memoized auto-tuner results keyed by workload shape. Serving loops
      * and sweeps re-plan identical shapes constantly; the paper tunes
      * each model once offline (Section 5.3), so caching is faithful.
+     *
+     * The tuner's candidate search always uses the analytical model as
+     * its fast proxy (a transaction-level search would simulate millions
+     * of candidates); the selected mapping is then priced by whichever
+     * backend the engine runs. Inject a backend explicitly via
+     * AutoTuner::setTimingModel to search under simulated timing.
      */
     TuneMemo tune_memo_;
-
-    /** Cost of one plan node under this engine's latency models. */
-    NodeCost costNode(const Plan &plan, const PlanNode &node) const;
-
-    double pimGemmLinearSeconds(std::size_t n, std::size_t h,
-                                std::size_t f, HostDtype dtype,
-                                std::size_t batch) const;
+    std::unique_ptr<TimingBackend> backend_;
 };
 
 /** Host-only inference on an arbitrary processor (CPU/GPU baselines). */

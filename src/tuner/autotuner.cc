@@ -22,6 +22,15 @@ AutoTuner::AutoTuner(PimPlatformConfig platform, AutoTuneOptions options)
     : platform_(std::move(platform)), options_(options)
 {}
 
+LutCostBreakdown
+AutoTuner::evaluateCandidate(const LutWorkloadShape &shape,
+                             const LutMapping &mapping) const
+{
+    if (timing_)
+        return timing_->lutCost(shape, mapping);
+    return evaluateLutMapping(platform_, shape, mapping);
+}
+
 std::vector<std::size_t>
 AutoTuner::subLutCandidates(std::size_t total) const
 {
@@ -103,8 +112,7 @@ AutoTuner::kernelSearch(const LutWorkloadShape &shape, std::size_t ns_tile,
 
     std::size_t pruned = 0;
     auto consider = [&](const LutMapping &mapping) {
-        const LutCostBreakdown cost =
-            evaluateLutMapping(platform_, shape, mapping);
+        const LutCostBreakdown cost = evaluateCandidate(shape, mapping);
         ++best.evaluated;
         if (!cost.legal) {
             ++pruned;

@@ -66,9 +66,26 @@ class AutoTuner
 
     const PimPlatformConfig &platform() const { return platform_; }
 
+    /**
+     * Injects a timing model for candidate evaluation; nullptr restores
+     * the built-in analytical model (evaluateLutMapping), which is also
+     * the default. The pointer is not owned and must outlive the tuner.
+     * Command-level models cost orders of magnitude more per candidate
+     * than the closed form, so engines keep the analytical model as the
+     * search proxy and re-cost only the chosen mapping under the active
+     * backend (DESIGN.md Section 12).
+     */
+    void setTimingModel(const LutTimingModel *timing) { timing_ = timing; }
+    const LutTimingModel *timingModel() const { return timing_; }
+
   private:
     PimPlatformConfig platform_;
     AutoTuneOptions options_;
+    const LutTimingModel *timing_ = nullptr;
+
+    /** Candidate cost under the injected or built-in timing model. */
+    LutCostBreakdown evaluateCandidate(const LutWorkloadShape &shape,
+                                       const LutMapping &mapping) const;
 
     /** Complete (pow2-filtered) divisor list for sub-LUT factors. */
     std::vector<std::size_t> subLutCandidates(std::size_t total) const;

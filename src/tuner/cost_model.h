@@ -37,6 +37,16 @@ struct LutCostBreakdown
 
     double kernel_launch = 0.0;
 
+    /**
+     * Timing not captured by the closed-form components above. The
+     * analytical model always leaves this zero; command-level timing
+     * models (src/backend's TransactionBackend) park simulated effects
+     * the equations do not express here — DRAM refresh stalls, host/PIM
+     * arbitration windows, mode switches, per-command issue overhead —
+     * so total() reports the simulated makespan either way.
+     */
+    double overhead_s = 0.0;
+
     /** Host<->PIM bytes actually moved (no broadcast duplicates). */
     double link_bytes = 0.0;
     /** Per-PE local-memory bytes streamed. */
@@ -54,8 +64,27 @@ struct LutCostBreakdown
 
     double total() const
     {
-        return subLutTotal() + microKernelTotal() + kernel_launch;
+        return subLutTotal() + microKernelTotal() + kernel_launch +
+               overhead_s;
     }
+};
+
+/**
+ * Timing-model hook for LUT-operator latency. The tuner's search loop
+ * evaluates candidate mappings through this interface when one is
+ * injected (AutoTuner::setTimingModel), which is how the pluggable
+ * timing backends (src/backend) reach the tuner without creating a
+ * tuner->backend dependency cycle: the interface lives here, the
+ * implementations live above the tuner.
+ */
+class LutTimingModel
+{
+  public:
+    virtual ~LutTimingModel() = default;
+
+    /** Latency/traffic breakdown of one mapping of one workload. */
+    virtual LutCostBreakdown lutCost(const LutWorkloadShape &shape,
+                                     const LutMapping &mapping) const = 0;
 };
 
 /**

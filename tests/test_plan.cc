@@ -216,7 +216,10 @@ modelByName(const char *name)
 
 TEST(PlanGoldens, SequentialScheduleReproducesSeedEstimates)
 {
-    PimDlEngine engine(upmemPlatform(), xeon4210Dual());
+    // Pinned against the analytical model: explicit backend kind so the
+    // goldens hold under a PIMDL_BACKEND=transaction environment too.
+    PimDlEngine engine(upmemPlatform(), xeon4210Dual(),
+                       TimingBackendKind::Analytical);
     for (const SeedGoldens &g : kGoldens) {
         SCOPED_TRACE(g.model);
         const TransformerConfig model = modelByName(g.model);
