@@ -9,7 +9,7 @@ tuner search counters).
 
 Usage: check_metrics.py <snapshot.json> [--require-fault-exec]
                         [--require-verify] [--require-serving-live]
-                        [--require-backend-xval]
+                        [--require-backend-xval] [--require-resilience]
 
 --require-fault-exec additionally requires the fault.lut.* /
 fault.injected.* execution-ladder keys, which only appear when a bench
@@ -30,6 +30,12 @@ only appear when a bench ran the transaction-level timing backend and
 published its cross-validation errors (bench_backend_xval), and fails
 when the transaction simulator issued no commands or the mean
 analytical-vs-transaction relative error reaches the committed bound.
+
+--require-resilience additionally requires the serving control-plane
+resilience keys (serving.live.watchdog.*, serving.live.breaker.*,
+poison isolation / bisection / shedding counters) and the chaos.*
+injector counters, which only appear when a bench drove the resilient
+live runtime under the chaos harness (bench_chaos).
 """
 
 import json
@@ -107,6 +113,30 @@ BACKEND_XVAL_GAUGES = [
     "backend.xval.bound",
 ]
 
+# Only present when a bench drove the resilient live runtime under the
+# chaos harness (bench_chaos).
+RESILIENCE_COUNTERS = [
+    "serving.live.watchdog.hangs",
+    "serving.live.watchdog.respawns",
+    "serving.live.watchdog.discarded",
+    "serving.live.breaker.opens",
+    "serving.live.breaker.closes",
+    "serving.live.breaker.probes",
+    "serving.live.breaker.short_circuited",
+    "serving.live.poison_isolated",
+    "serving.live.bisections",
+    "serving.live.shed_admission",
+    "serving.live.overload_rejected",
+    "chaos.worker_stalls",
+    "chaos.exceptions",
+    "chaos.slow_batches",
+    "chaos.heartbeat_losses",
+]
+RESILIENCE_GAUGES = [
+    "serving.live.breaker.state",
+    "serving.live.inflight_limit",
+]
+
 # Only present when plan verification ran (PIMDL_VERIFY_PLANS=1).
 VERIFY_COUNTERS = [
     "verify.plans_verified",
@@ -149,12 +179,14 @@ def main():
     require_verify = "--require-verify" in args
     require_serving_live = "--require-serving-live" in args
     require_backend_xval = "--require-backend-xval" in args
+    require_resilience = "--require-resilience" in args
     args = [a for a in args if not a.startswith("--require-")]
     if len(args) != 1:
         fail(
             f"usage: {sys.argv[0]} <snapshot.json> "
             "[--require-fault-exec] [--require-verify] "
-            "[--require-serving-live] [--require-backend-xval]"
+            "[--require-serving-live] [--require-backend-xval] "
+            "[--require-resilience]"
         )
 
     try:
@@ -224,6 +256,19 @@ def main():
                 f"p50={live['p50']} p95={live['p95']} "
                 f"p99={live['p99']}"
             )
+
+    if require_resilience:
+        for name in RESILIENCE_COUNTERS:
+            if name not in snap["counters"]:
+                fail(f"missing resilience counter {name!r}")
+        for name in RESILIENCE_GAUGES:
+            if name not in snap["gauges"]:
+                fail(f"missing resilience gauge {name!r}")
+        state = snap["gauges"]["serving.live.breaker.state"]
+        if state not in (0, 1, 2):
+            fail(f"implausible breaker state gauge {state!r}")
+        if snap["gauges"]["serving.live.inflight_limit"] <= 0:
+            fail("in-flight limit gauge must be positive")
 
     if require_backend_xval:
         for name in BACKEND_XVAL_COUNTERS:

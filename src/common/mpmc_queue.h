@@ -57,6 +57,25 @@ class BoundedMpmcQueue
         return true;
     }
 
+    /**
+     * Non-blocking push that keeps @p value intact on failure (the
+     * by-value tryPush destroys it), so a rejected item can be routed
+     * down a different path — the watchdog re-dispatch needs this to
+     * fail a seized batch properly when the work queue is closed.
+     */
+    bool
+    tryPushOrKeep(T &value) PIMDL_EXCLUDES(mu_)
+    {
+        {
+            MutexLock lock(mu_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        not_empty_.notifyOne();
+        return true;
+    }
+
     /** Blocking push; waits for space, false once the queue closes. */
     bool
     push(T value) PIMDL_EXCLUDES(mu_)

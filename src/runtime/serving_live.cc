@@ -1,6 +1,7 @@
 #include "serving_live.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <exception>
@@ -21,6 +22,9 @@ namespace {
  */
 constexpr double kVirtualPollSliceS = 200e-6;
 
+/** EWMA weight of the newest served batch latency. */
+constexpr double kServiceEwmaAlpha = 0.2;
+
 std::size_t
 pow2Bucket(std::size_t batch, std::size_t max_batch)
 {
@@ -29,6 +33,22 @@ pow2Bucket(std::size_t batch, std::size_t max_batch)
         padded <<= 1;
     return std::min(padded, max_batch);
 }
+
+/** Scope guard over an atomic in-flight counter. */
+class ActiveGuard
+{
+  public:
+    explicit ActiveGuard(std::atomic<std::int64_t> &count) : count_(count)
+    {
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ActiveGuard() { count_.fetch_sub(1, std::memory_order_relaxed); }
+    ActiveGuard(const ActiveGuard &) = delete;
+    ActiveGuard &operator=(const ActiveGuard &) = delete;
+
+  private:
+    std::atomic<std::int64_t> &count_;
+};
 
 } // namespace
 
@@ -69,29 +89,72 @@ LiveServingConfig::validate() const
     PIMDL_REQUIRE(std::isfinite(deadline_s) && deadline_s >= 0.0,
                   "deadline_s must be finite and non-negative (0 = off)");
     faults.validate();
+    resilience.validate();
+}
+
+void
+LiveServingRuntime::PendingRequest::fulfill(LiveRequestResult &&result)
+{
+    if (fulfilled)
+        return;
+    fulfilled = true;
+    if (inflight != nullptr)
+        inflight->fetch_sub(1, std::memory_order_relaxed);
+    promise.set_value(std::move(result));
+}
+
+LiveServingRuntime::PendingRequest::~PendingRequest()
+{
+    if (fulfilled)
+        return;
+    LiveRequestResult result;
+    result.status = LiveRequestStatus::Failed;
+    result.request_id = id;
+    result.tenant = tenant;
+    result.enqueue_s = enqueue_s;
+    try {
+        fulfill(std::move(result));
+    } catch (...) {
+        // A dead promise (teardown race) is already what the net
+        // exists to paper over; never throw from a destructor.
+    }
 }
 
 LiveServingRuntime::LiveServingRuntime(const LiveServingConfig &config,
                                        BatchExecutor &executor,
-                                       Clock *clock)
+                                       Clock *clock,
+                                       const ChaosInjector *chaos)
     : config_((config.validate(), config)), executor_(executor),
       clock_(clock != nullptr ? clock : &SteadyClock::instance()),
-      request_queue_(config_.queue_capacity),
+      chaos_(chaos), request_queue_(config_.queue_capacity),
       work_queue_(std::max<std::size_t>(2 * config_.workers, 2))
 {
     obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
     m_.requests = &reg.counter("serving.live.requests");
     m_.rejected = &reg.counter("serving.live.rejected");
+    m_.overload_rejected =
+        &reg.counter("serving.live.overload_rejected");
     m_.completed = &reg.counter("serving.live.completed");
     m_.shed = &reg.counter("serving.live.shed");
+    m_.shed_admission = &reg.counter("serving.live.shed_admission");
     m_.deadline_timeouts =
         &reg.counter("serving.live.deadline_timeouts");
     m_.failed_requests = &reg.counter("serving.live.failed_requests");
     m_.batches = &reg.counter("serving.live.batches");
     m_.batch_retries = &reg.counter("serving.live.batch_retries");
     m_.failed_batches = &reg.counter("serving.live.failed_batches");
+    m_.watchdog_hangs = &reg.counter("serving.live.watchdog.hangs");
+    m_.watchdog_respawns =
+        &reg.counter("serving.live.watchdog.respawns");
+    m_.watchdog_discarded =
+        &reg.counter("serving.live.watchdog.discarded");
+    m_.bisections = &reg.counter("serving.live.bisections");
+    m_.poison_isolated = &reg.counter("serving.live.poison_isolated");
+    m_.breaker_short_circuited =
+        &reg.counter("serving.live.breaker.short_circuited");
     m_.queue_depth = &reg.gauge("serving.live.queue_depth");
     m_.availability = &reg.gauge("serving.live.availability");
+    m_.inflight_limit = &reg.gauge("serving.live.inflight_limit");
     m_.request_latency_s =
         &reg.histogram("serving.live.request_latency_s");
     m_.queue_wait_s = &reg.histogram("serving.live.queue_wait_s");
@@ -101,10 +164,40 @@ LiveServingRuntime::LiveServingRuntime(const LiveServingConfig &config,
     m_.batch_queue_depth =
         &reg.histogram("serving.live.batch_queue_depth");
 
+    breaker_ = std::make_unique<CircuitBreaker>(
+        config_.resilience.breaker, clock_, "serving.live.breaker");
+
+    const OverloadConfig &ov = config_.resilience.overload;
+    batch_service_ewma_.store(ov.assumed_batch_latency_s,
+                              std::memory_order_relaxed);
+    // Pipeline capacity: everything that can be admitted-but-
+    // unresolved at once (request queue + buffered batches + batches
+    // executing in workers).
+    const double pipeline_cap = static_cast<double>(
+        config_.queue_capacity +
+        (work_queue_.capacity() + config_.workers) * config_.max_batch);
+    inflight_cap_ = ov.aimd_max_inflight > 0
+                        ? static_cast<double>(ov.aimd_max_inflight)
+                        : pipeline_cap;
+    inflight_limit_.store(inflight_cap_, std::memory_order_relaxed);
+    m_.inflight_limit->set(inflight_cap_);
+
     batcher_ = std::thread(&LiveServingRuntime::batcherLoop, this);
-    workers_.reserve(config_.workers);
-    for (std::size_t i = 0; i < config_.workers; ++i)
-        workers_.emplace_back(&LiveServingRuntime::workerLoop, this);
+    {
+        MutexLock lock(workers_mu_);
+        slots_.reserve(config_.workers);
+        for (std::size_t i = 0; i < config_.workers; ++i) {
+            WorkerSlot slot;
+            slot.state = std::make_shared<WorkerState>();
+            slot.state->worker_id = next_worker_id_.fetch_add(
+                1, std::memory_order_relaxed);
+            slot.thread = std::thread(&LiveServingRuntime::workerLoop,
+                                      this, slot.state);
+            slots_.push_back(std::move(slot));
+        }
+    }
+    if (config_.resilience.watchdog.enabled)
+        watchdog_ = std::thread(&LiveServingRuntime::watchdogLoop, this);
 }
 
 LiveServingRuntime::~LiveServingRuntime()
@@ -112,8 +205,29 @@ LiveServingRuntime::~LiveServingRuntime()
     drain();
 }
 
+double
+LiveServingRuntime::estimatedQueueDelayS() const
+{
+    const double svc =
+        batch_service_ewma_.load(std::memory_order_relaxed);
+    if (svc <= 0.0)
+        return 0.0;
+    // Batches ahead of a request admitted now: the queue (including
+    // itself) once batched, plus buffered and executing batches.
+    const std::size_t queued_batches =
+        (request_queue_.size() + config_.max_batch) / config_.max_batch;
+    const std::int64_t active =
+        std::max<std::int64_t>(
+            active_batches_.load(std::memory_order_relaxed), 0);
+    const double batches_ahead =
+        static_cast<double>(queued_batches + work_queue_.size()) +
+        static_cast<double>(active);
+    return batches_ahead * svc / static_cast<double>(config_.workers);
+}
+
 std::optional<std::future<LiveRequestResult>>
-LiveServingRuntime::submit(Tensor input, std::uint64_t tenant)
+LiveServingRuntime::submit(Tensor input, std::uint64_t tenant,
+                           double deadline_budget_s)
 {
     PIMDL_REQUIRE(input.rows() > 0 && input.cols() > 0,
                   "submitted request tensor must be non-empty");
@@ -138,14 +252,59 @@ LiveServingRuntime::submit(Tensor input, std::uint64_t tenant)
         return std::nullopt;
     }
 
+    const OverloadConfig &ov = config_.resilience.overload;
+    if (ov.aimd &&
+        static_cast<double>(
+            inflight_.load(std::memory_order_relaxed)) >=
+            inflight_limit_.load(std::memory_order_relaxed)) {
+        MutexLock lock(stats_mu_);
+        ++acc_.rejected;
+        ++acc_.overload_rejected;
+        m_.rejected->add(1);
+        m_.overload_rejected->add(1);
+        return std::nullopt;
+    }
+
+    const double now = clock_->now();
     auto req = std::make_unique<PendingRequest>();
     req->id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     req->tenant = tenant;
     req->input = std::move(input);
-    req->enqueue_s = clock_->now();
+    req->enqueue_s = now;
+    bool has_deadline = false;
+    if (deadline_budget_s >= 0.0) {
+        req->deadline_abs_s = now + deadline_budget_s;
+        has_deadline = true;
+    } else if (config_.deadline_s > 0.0) {
+        req->deadline_abs_s = now + config_.deadline_s;
+        has_deadline = true;
+    }
     std::future<LiveRequestResult> future = req->promise.get_future();
 
-    if (!request_queue_.tryPush(std::move(req))) {
+    // Shed at admission instead of wasting a queue slot and batcher
+    // work on a doomed request: the deadline already passed, or the
+    // estimated queue delay alone exceeds the remaining budget. The
+    // has_deadline flag (not deadline_abs_s > 0) covers an explicit
+    // budget of 0 at virtual time 0, where the absolute deadline
+    // collides with the "no deadline" sentinel.
+    if (has_deadline) {
+        bool doomed = now >= req->deadline_abs_s;
+        if (!doomed && ov.admission_shedding)
+            doomed = now + ov.shed_delay_factor * estimatedQueueDelayS() >=
+                     req->deadline_abs_s;
+        if (doomed) {
+            fulfillShed(std::move(req), now, /*at_admission=*/true);
+            return future;
+        }
+    }
+
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    req->inflight = &inflight_;
+    if (!request_queue_.tryPushOrKeep(req)) {
+        // Queue full (or closed by a drain race): count the rejection
+        // and drop the request here — its destructor net resolves the
+        // (discarded) future and releases the in-flight slot.
+        req.reset();
         MutexLock lock(stats_mu_);
         ++acc_.rejected;
         m_.rejected->add(1);
@@ -193,20 +352,18 @@ LiveServingRuntime::batcherLoop()
 void
 LiveServingRuntime::dispatch(BatchTask &&task)
 {
-    if (config_.deadline_s > 0.0) {
-        const double now = clock_->now();
-        std::vector<std::unique_ptr<PendingRequest>> keep;
-        keep.reserve(task.requests.size());
-        for (auto &req : task.requests) {
-            if (now - req->enqueue_s >= config_.deadline_s)
-                fulfillShed(std::move(req), now);
-            else
-                keep.push_back(std::move(req));
-        }
-        task.requests = std::move(keep);
-        if (task.requests.empty())
-            return;
+    const double now = clock_->now();
+    std::vector<std::unique_ptr<PendingRequest>> keep;
+    keep.reserve(task.requests.size());
+    for (auto &req : task.requests) {
+        if (req->deadline_abs_s > 0.0 && now >= req->deadline_abs_s)
+            fulfillShed(std::move(req), now, /*at_admission=*/false);
+        else
+            keep.push_back(std::move(req));
     }
+    task.requests = std::move(keep);
+    if (task.requests.empty())
+        return;
     task.id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
     m_.batch_queue_depth->record(
         static_cast<double>(work_queue_.size()));
@@ -217,7 +374,7 @@ LiveServingRuntime::dispatch(BatchTask &&task)
 
 void
 LiveServingRuntime::fulfillShed(std::unique_ptr<PendingRequest> req,
-                                double now)
+                                double now, bool at_admission)
 {
     LiveRequestResult result;
     result.status = LiveRequestStatus::Shed;
@@ -227,25 +384,65 @@ LiveServingRuntime::fulfillShed(std::unique_ptr<PendingRequest> req,
     result.done_s = now;
     result.queue_wait_s = now - req->enqueue_s;
     result.latency_s = result.queue_wait_s;
-    req->promise.set_value(std::move(result));
+    req->fulfill(std::move(result));
     m_.shed->add(1);
+    if (at_admission)
+        m_.shed_admission->add(1);
     MutexLock lock(stats_mu_);
     ++acc_.shed;
+    if (at_admission)
+        ++acc_.shed_admission;
 }
 
 void
-LiveServingRuntime::workerLoop()
+LiveServingRuntime::failBatch(BatchTask task, double now)
+{
+    const std::size_t batch = task.requests.size();
+    for (auto &req : task.requests) {
+        LiveRequestResult result;
+        result.status = LiveRequestStatus::Failed;
+        result.request_id = req->id;
+        result.tenant = req->tenant;
+        result.batch_id = task.id;
+        result.batch_size = batch;
+        result.enqueue_s = req->enqueue_s;
+        result.done_s = now;
+        result.queue_wait_s = now - req->enqueue_s;
+        result.latency_s = result.queue_wait_s;
+        req->fulfill(std::move(result));
+    }
+    m_.failed_requests->add(batch);
+    m_.failed_batches->add(1);
+    MutexLock lock(stats_mu_);
+    acc_.failed_requests += batch;
+    ++acc_.failed_batches;
+    aimdDecreaseLocked();
+}
+
+void
+LiveServingRuntime::workerLoop(std::shared_ptr<WorkerState> ws)
 {
     BatchTask task;
-    while (work_queue_.pop(task))
-        executeBatch(std::move(task));
+    while (work_queue_.pop(task)) {
+        try {
+            executeBatch(std::move(task), ws.get());
+        } catch (...) {
+            // executeBatch already catches executor throws of any
+            // type; anything escaping is an internal error. The
+            // PendingRequest destructor nets have resolved whatever
+            // futures the unwound task still owned.
+        }
+        if (ws->abandoned.load(std::memory_order_acquire))
+            return; // the watchdog replaced this slot
+    }
 }
 
 void
-LiveServingRuntime::executeBatch(BatchTask task)
+LiveServingRuntime::executeBatch(BatchTask task, WorkerState *ws)
 {
     obs::TraceSpan span("serving.live.batch");
     span.attr("batch_id", task.id);
+    ActiveGuard active(active_batches_);
     const std::size_t batch = task.requests.size();
     span.attr("batch_size", static_cast<std::uint64_t>(batch));
     const std::size_t seq = task.requests.front()->input.rows();
@@ -262,18 +459,67 @@ LiveServingRuntime::executeBatch(BatchTask task)
                     seq * hidden * sizeof(float));
     }
 
-    const ServingFaultProfile &faults = config_.faults;
+    // Publish the batch to the heartbeat registry: from here until
+    // the take-back below, the watchdog may seize the requests.
+    const bool hb_dropped =
+        chaos_ != nullptr &&
+        chaos_->dropHeartbeat(ws->worker_id, task.id);
     const double start = clock_->now();
+    {
+        MutexLock lock(ws->mu);
+        ws->has_task = true;
+        ws->seized = false;
+        ws->batch_id = task.id;
+        ws->attempts_done = task.attempts_done;
+        ws->bisected = task.bisected;
+        // A dropped heartbeat backdates the timestamp past any hang
+        // threshold: the watchdog will seize a healthy worker (the
+        // false-positive path the late-result discard exists for).
+        ws->heartbeat_s =
+            hb_dropped ? start - 2.0 * hangTimeoutS() : start;
+        ws->requests = std::move(task.requests);
+    }
+
+    const ServingFaultProfile &faults = config_.faults;
     Tensor output;
     bool served = false;
     std::size_t retries = 0;
-    for (std::size_t attempt = 0; attempt <= faults.max_retries;
-         ++attempt) {
+    // The breaker gates the primary path of attempt 0 only; retries
+    // (and watchdog re-dispatches, which resume past attempt 0) are
+    // degraded regardless.
+    bool breaker_primary = true;
+    if (task.attempts_done == 0) {
+        breaker_primary = breaker_->allowPrimary();
+        if (!breaker_primary)
+            m_.breaker_short_circuited->add(1);
+    }
+    for (std::size_t attempt = task.attempts_done;
+         attempt <= faults.max_retries; ++attempt) {
+        const bool degraded = attempt > 0 || !breaker_primary;
         bool faulted = false;
-        try {
-            output = executor_.execute(tokens, seq, attempt > 0);
-        } catch (const std::exception &) {
+        if (chaos_ != nullptr) {
+            const double stall = chaos_->stallSeconds(task.id, attempt);
+            if (stall > 0.0)
+                clock_->sleepFor(stall);
+        }
+        if (chaos_ != nullptr &&
+            chaos_->injectException(task.id, attempt, degraded)) {
             faulted = true;
+        } else {
+            try {
+                output = executor_.execute(tokens, seq, degraded);
+            } catch (...) {
+                // Catch-all, not just std::exception: an executor
+                // throwing an arbitrary type must not unwind past the
+                // worker with unresolved futures.
+                faulted = true;
+            }
+            if (chaos_ != nullptr) {
+                const double extra =
+                    chaos_->slowExtraSeconds(task.id, attempt);
+                if (extra > 0.0)
+                    clock_->sleepFor(extra);
+            }
         }
         if (!faulted && faults.enabled()) {
             // Same draw stream and keying as the analytical simulator,
@@ -283,6 +529,19 @@ LiveServingRuntime::executeBatch(BatchTask task)
                 faultHashUniform(faults.seed, kServingBatchFaultStream,
                                  task.id, attempt);
             faulted = u < faults.batch_fault_rate;
+        }
+        if (!degraded) {
+            if (faulted)
+                breaker_->recordFailure();
+            else
+                breaker_->recordSuccess();
+        }
+        if (!hb_dropped) {
+            MutexLock lock(ws->mu);
+            if (ws->seized)
+                break; // requests are gone; stop burning attempts
+            ws->attempts_done = attempt + 1;
+            ws->heartbeat_s = clock_->now();
         }
         if (!faulted) {
             served = true;
@@ -297,6 +556,77 @@ LiveServingRuntime::executeBatch(BatchTask task)
     const double service = done - start;
     span.attr("service_s", service);
     span.attr("retries", static_cast<std::uint64_t>(retries));
+
+    // Take the requests back from the heartbeat registry. If the
+    // watchdog seized them meanwhile they are being retried (or were
+    // failed) elsewhere — the late result must be discarded, not
+    // double-resolved.
+    bool was_seized = false;
+    {
+        MutexLock lock(ws->mu);
+        if (ws->seized) {
+            was_seized = true;
+        } else {
+            task.requests = std::move(ws->requests);
+            ws->requests.clear();
+        }
+        ws->has_task = false;
+    }
+    if (was_seized) {
+        m_.watchdog_discarded->add(1);
+        MutexLock lock(stats_mu_);
+        ++acc_.watchdog_discarded;
+        return;
+    }
+
+    if (!served) {
+        if (config_.resilience.bisect_poison && batch > 1) {
+            // The whole batch exhausted its retries — isolate the
+            // poison by bisection instead of failing the innocents.
+            m_.bisections->add(1);
+            m_.batches->add(1);
+            m_.batch_retries->add(retries);
+            {
+                MutexLock lock(stats_mu_);
+                ++acc_.bisections;
+                ++acc_.batches;
+                acc_.batch_retries += retries;
+                batch_size_sum_ += static_cast<double>(batch);
+                acc_.busy_s += service;
+                aimdDecreaseLocked();
+            }
+            const std::size_t half = batch / 2;
+            BatchTask left;
+            BatchTask right;
+            left.id =
+                next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+            right.id =
+                next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+            left.bisected = true;
+            right.bisected = true;
+            for (std::size_t i = 0; i < batch; ++i) {
+                if (i < half)
+                    left.requests.push_back(
+                        std::move(task.requests[i]));
+                else
+                    right.requests.push_back(
+                        std::move(task.requests[i]));
+            }
+            // Executed inline in this worker (not re-enqueued):
+            // recursion depth is log2(max_batch) and the work queue
+            // cannot deadlock on its own backpressure bound.
+            executeBatch(std::move(left), ws);
+            executeBatch(std::move(right), ws);
+            return;
+        }
+        if (batch == 1 && task.bisected) {
+            // Bisection bottomed out on a single request: the poison
+            // is isolated and fails alone.
+            m_.poison_isolated->add(1);
+            MutexLock lock(stats_mu_);
+            ++acc_.poison_isolated;
+        }
+    }
 
     std::size_t completed = 0;
     std::size_t in_deadline = 0;
@@ -320,8 +650,8 @@ LiveServingRuntime::executeBatch(BatchTask task)
             result.status = LiveRequestStatus::Failed;
             m_.failed_requests->add(1);
         } else {
-            const bool late = config_.deadline_s > 0.0 &&
-                              result.latency_s > config_.deadline_s;
+            const bool late = req->deadline_abs_s > 0.0 &&
+                              done > req->deadline_abs_s;
             result.status = late ? LiveRequestStatus::TimedOut
                                  : LiveRequestStatus::Completed;
             ++completed;
@@ -340,7 +670,7 @@ LiveServingRuntime::executeBatch(BatchTask task)
                 result.output = std::move(slice);
             }
         }
-        req->promise.set_value(std::move(result));
+        req->fulfill(std::move(result));
     }
 
     m_.completed->add(completed);
@@ -352,6 +682,19 @@ LiveServingRuntime::executeBatch(BatchTask task)
     m_.batch_size->record(static_cast<double>(batch));
     m_.batch_service_s->record(service);
 
+    if (served) {
+        // Feed the service EWMA (queue-delay estimate, watchdog
+        // timeout). Racy read-modify-write across workers is fine:
+        // the estimate is advisory.
+        const double prev =
+            batch_service_ewma_.load(std::memory_order_relaxed);
+        const double next =
+            prev <= 0.0 ? service
+                        : (1.0 - kServiceEwmaAlpha) * prev +
+                              kServiceEwmaAlpha * service;
+        batch_service_ewma_.store(next, std::memory_order_relaxed);
+    }
+
     MutexLock lock(stats_mu_);
     acc_.completed += completed;
     acc_.completed_in_deadline += in_deadline;
@@ -360,16 +703,139 @@ LiveServingRuntime::executeBatch(BatchTask task)
         acc_.failed_requests += batch;
     ++acc_.batches;
     acc_.batch_retries += retries;
-    if (!served)
+    if (!served) {
         ++acc_.failed_batches;
-    else if (retries > 0)
+        aimdDecreaseLocked();
+    } else if (retries > 0) {
         ++acc_.degraded_batches;
+        aimdDecreaseLocked();
+    } else {
+        aimdIncreaseLocked();
+    }
     batch_size_sum_ += static_cast<double>(batch);
     acc_.busy_s += service;
     latencies_.insert(latencies_.end(), batch_latencies.begin(),
                       batch_latencies.end());
     queue_waits_.insert(queue_waits_.end(), batch_waits.begin(),
                         batch_waits.end());
+}
+
+double
+LiveServingRuntime::hangTimeoutS() const
+{
+    const WatchdogConfig &wd = config_.resilience.watchdog;
+    double expected = wd.expected_batch_latency_s;
+    if (expected <= 0.0)
+        expected = batch_service_ewma_.load(std::memory_order_relaxed);
+    return std::max(wd.hang_timeout_factor * expected,
+                    wd.min_hang_timeout_s);
+}
+
+void
+LiveServingRuntime::aimdIncreaseLocked()
+{
+    if (!config_.resilience.overload.aimd)
+        return;
+    const double next = std::min(
+        inflight_limit_.load(std::memory_order_relaxed) +
+            config_.resilience.overload.aimd_increase,
+        inflight_cap_);
+    inflight_limit_.store(next, std::memory_order_relaxed);
+    m_.inflight_limit->set(next);
+}
+
+void
+LiveServingRuntime::aimdDecreaseLocked()
+{
+    if (!config_.resilience.overload.aimd)
+        return;
+    const double next = std::max(
+        inflight_limit_.load(std::memory_order_relaxed) *
+            config_.resilience.overload.aimd_decrease,
+        static_cast<double>(
+            config_.resilience.overload.aimd_min_inflight));
+    inflight_limit_.store(next, std::memory_order_relaxed);
+    m_.inflight_limit->set(next);
+}
+
+void
+LiveServingRuntime::respawnWorker(const WorkerState *old)
+{
+    MutexLock lock(workers_mu_);
+    for (WorkerSlot &slot : slots_) {
+        if (slot.state.get() != old)
+            continue;
+        slot.state->abandoned.store(true, std::memory_order_release);
+        zombies_.push_back(std::move(slot.thread));
+        slot.state = std::make_shared<WorkerState>();
+        slot.state->worker_id =
+            next_worker_id_.fetch_add(1, std::memory_order_relaxed);
+        slot.thread = std::thread(&LiveServingRuntime::workerLoop, this,
+                                  slot.state);
+        return;
+    }
+}
+
+void
+LiveServingRuntime::watchdogLoop()
+{
+    const auto slice = std::chrono::duration<double>(
+        config_.resilience.watchdog.poll_slice_s);
+    while (!watchdog_stop_.load(std::memory_order_acquire)) {
+        // Real-time sleep even under a virtual clock — the watchdog
+        // re-reads (possibly virtual) time each poll, mirroring the
+        // batcher's poll-slice pattern.
+        std::this_thread::sleep_for(slice);
+        const double now = clock_->now();
+        const double timeout = hangTimeoutS();
+
+        std::vector<std::shared_ptr<WorkerState>> states;
+        {
+            MutexLock lock(workers_mu_);
+            states.reserve(slots_.size());
+            for (const WorkerSlot &slot : slots_)
+                states.push_back(slot.state);
+        }
+        for (const std::shared_ptr<WorkerState> &ws : states) {
+            BatchTask seized;
+            {
+                MutexLock lock(ws->mu);
+                if (!ws->has_task || ws->seized)
+                    continue;
+                if (now - ws->heartbeat_s < timeout)
+                    continue;
+                // Hung: seize the batch. The worker keeps whatever it
+                // is stuck in; its eventual result is discarded.
+                ws->seized = true;
+                seized.id = ws->batch_id;
+                seized.attempts_done = ws->attempts_done + 1;
+                seized.bisected = ws->bisected;
+                seized.requests = std::move(ws->requests);
+                ws->requests.clear();
+            }
+            m_.watchdog_hangs->add(1);
+            m_.batch_retries->add(1);
+            {
+                MutexLock lock(stats_mu_);
+                ++acc_.watchdog_hangs;
+                ++acc_.batch_retries;
+                aimdDecreaseLocked();
+            }
+            respawnWorker(ws.get());
+            m_.watchdog_respawns->add(1);
+            {
+                MutexLock lock(stats_mu_);
+                ++acc_.watchdog_respawns;
+            }
+            if (seized.requests.empty())
+                continue; // worker resolved them before the seizure
+            bool requeued = false;
+            if (seized.attempts_done <= config_.faults.max_retries)
+                requeued = work_queue_.tryPushOrKeep(seized);
+            if (!requeued)
+                failBatch(std::move(seized), clock_->now());
+        }
+    }
 }
 
 void
@@ -384,9 +850,38 @@ LiveServingRuntime::drain()
     if (batcher_.joinable())
         batcher_.join();
     // The batcher closed the work queue on exit; workers drain it.
-    for (std::thread &w : workers_)
-        if (w.joinable())
-            w.join();
+    // The watchdog keeps running while we join so hung batches can
+    // still be seized (their futures resolve even though the hung
+    // thread itself blocks its join until the executor returns).
+    // Respawned workers see the closed queue and exit immediately;
+    // loop until the slot table is quiescent.
+    auto join_sweep = [this]() {
+        for (;;) {
+            std::vector<std::thread> joinable;
+            {
+                MutexLock workers_lock(workers_mu_);
+                for (WorkerSlot &slot : slots_)
+                    if (slot.thread.joinable())
+                        joinable.push_back(std::move(slot.thread));
+                for (std::thread &z : zombies_)
+                    if (z.joinable())
+                        joinable.push_back(std::move(z));
+                zombies_.clear();
+            }
+            if (joinable.empty())
+                return;
+            for (std::thread &t : joinable)
+                t.join();
+        }
+    };
+    join_sweep();
+    watchdog_stop_.store(true, std::memory_order_release);
+    if (watchdog_.joinable())
+        watchdog_.join();
+    // A respawn racing the first sweep could have started a thread
+    // after the sweep's last snapshot; with the watchdog stopped this
+    // second sweep is exhaustive.
+    join_sweep();
     m_.availability->set(stats().availability);
     m_.queue_depth->set(0.0);
 }
@@ -422,6 +917,9 @@ LiveServingRuntime::statsLocked() const
         stats.mean_queue_wait_s =
             sum / static_cast<double>(queue_waits_.size());
     }
+    stats.breaker_opens = breaker_->opens();
+    stats.inflight_limit =
+        inflight_limit_.load(std::memory_order_relaxed);
     const std::size_t admitted = stats.submitted - stats.rejected;
     if (admitted > 0)
         stats.availability =

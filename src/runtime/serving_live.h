@@ -11,16 +11,27 @@
  * batcher keeps forming the next batch — continuous batching. Batches
  * ride the same deterministic fault/retry ladder as the simulator
  * (shared draw stream kServingBatchFaultStream), and requests past
- * their deadline are shed at dispatch.
+ * their deadline are shed at admission or dispatch.
  *
- * Every time-dependent decision (max-wait, deadlines, backoff) reads
- * an injectable Clock, so tests drive a ManualClock and stay
- * deterministic under arbitrary CI load; production uses SteadyClock.
+ * On top of that sits the resilience control plane (resilience.h):
+ * a watchdog thread seizes batches from hung workers and respawns the
+ * slot, poison batches that exhaust retries are bisected until the
+ * poisonous request is isolated, a circuit breaker pins sustained
+ * primary-path failures to the degraded path, and overload control
+ * sheds doomed requests at admission (CoDel-style) under an AIMD
+ * in-flight limit. A deterministic chaos injector (fault/chaos.h) can
+ * be attached to drive all of it in soak tests.
+ *
+ * Every time-dependent decision (max-wait, deadlines, backoff, hang
+ * timeouts, breaker cooldowns) reads an injectable Clock, so tests
+ * drive a ManualClock and stay deterministic under arbitrary CI load;
+ * production uses SteadyClock.
  */
 
 #ifndef PIMDL_RUNTIME_SERVING_LIVE_H
 #define PIMDL_RUNTIME_SERVING_LIVE_H
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -31,8 +42,10 @@
 #include "common/clock.h"
 #include "common/mpmc_queue.h"
 #include "common/thread_annotations.h"
+#include "fault/chaos.h"
 #include "obs/metrics.h"
 #include "runtime/functional_transformer.h"
+#include "runtime/resilience.h"
 #include "runtime/serving.h"
 #include "tensor/tensor.h"
 
@@ -45,7 +58,8 @@ enum class LiveRequestStatus
     Completed,
     /** Served, but past the per-request deadline. */
     TimedOut,
-    /** Dropped at dispatch: already past deadline before execution. */
+    /** Dropped before execution: deadline already doomed at admission
+     * or passed by dispatch time. */
     Shed,
     /** Lost to a batch that exhausted its retries. */
     Failed,
@@ -80,8 +94,9 @@ struct LiveRequestResult
 
 /**
  * What the worker pool runs per dispatched batch. Implementations may
- * throw to signal a batch fault; the runtime catches and retries it on
- * the same ladder as injected faults.
+ * throw to signal a batch fault; the runtime catches (any type, not
+ * just std::exception) and retries it on the same ladder as injected
+ * faults.
  */
 class BatchExecutor
 {
@@ -91,8 +106,9 @@ class BatchExecutor
     /**
      * Executes @p tokens ((batch*seq_len) x hidden) and returns the
      * output with identical shape. @p degraded is true on retry
-     * attempts: implementations may fall back to a slower-but-safer
-     * path (mirroring the simulator's degraded service factor).
+     * attempts and while the circuit breaker holds the primary path
+     * open: implementations may fall back to a slower-but-safer path
+     * (mirroring the simulator's degraded service factor).
      */
     virtual Tensor execute(const Tensor &tokens, std::size_t seq_len,
                            bool degraded) = 0;
@@ -131,7 +147,8 @@ struct LiveServingConfig
     std::size_t queue_capacity = 256;
     /** Worker threads executing dispatched batches. */
     std::size_t workers = 1;
-    /** Per-request deadline, seconds; 0 disables shedding/timeouts. */
+    /** Per-request deadline, seconds; 0 disables shedding/timeouts.
+     * submit() may override per request with an explicit budget. */
     double deadline_s = 0.0;
     /** Pad dispatched batches to the next power of two (bounded by
      * max_batch), matching the simulator's shape bucketing. */
@@ -141,6 +158,9 @@ struct LiveServingConfig
     bool collect_outputs = true;
     /** Per-batch fault semantics, shared with the simulator. */
     ServingFaultProfile faults;
+    /** Control-plane resilience: watchdog, breaker, overload,
+     * poison bisection. */
+    ResilienceConfig resilience;
 
     /** Throws std::runtime_error with a field-naming message. */
     void validate() const;
@@ -151,8 +171,12 @@ struct LiveServingStats
 {
     /** submit() calls, including rejected ones. */
     std::size_t submitted = 0;
-    /** Submits refused at the admission boundary. */
+    /** Submits refused at the admission boundary (queue full,
+     * draining, or over the AIMD in-flight limit). */
     std::size_t rejected = 0;
+    /** Rejections due specifically to the AIMD in-flight limit
+     * (subset of rejected). */
+    std::size_t overload_rejected = 0;
     /** Requests served (deadline met or no deadline). */
     std::size_t completed = 0;
     /** Completed requests that met the deadline (== completed when no
@@ -160,8 +184,11 @@ struct LiveServingStats
     std::size_t completed_in_deadline = 0;
     /** Requests served past the deadline. */
     std::size_t timed_out = 0;
-    /** Requests dropped at dispatch (already past deadline). */
+    /** Requests dropped pre-execution (admission or dispatch). */
     std::size_t shed = 0;
+    /** Sheds decided at admission time (subset of shed): deadline
+     * already expired, or the estimated queue delay doomed it. */
+    std::size_t shed_admission = 0;
     /** Requests lost to batches that exhausted retries. */
     std::size_t failed_requests = 0;
     std::size_t batches = 0;
@@ -169,6 +196,19 @@ struct LiveServingStats
     std::size_t failed_batches = 0;
     /** Batches that completed but needed at least one retry. */
     std::size_t degraded_batches = 0;
+    /** Hung batches seized from their worker by the watchdog. */
+    std::size_t watchdog_hangs = 0;
+    /** Worker slots respawned after a seizure. */
+    std::size_t watchdog_respawns = 0;
+    /** Late results discarded because the watchdog had already
+     * re-owned the batch. */
+    std::size_t watchdog_discarded = 0;
+    /** Retry-exhausted batches split into sub-batches. */
+    std::size_t bisections = 0;
+    /** Requests isolated as poisonous by bisection (failed alone). */
+    std::size_t poison_isolated = 0;
+    /** Times the circuit breaker opened. */
+    std::size_t breaker_opens = 0;
     double mean_batch_size = 0.0;
     /** Total batch execution time across workers, seconds. */
     double busy_s = 0.0;
@@ -178,26 +218,33 @@ struct LiveServingStats
     double p95_latency_s = 0.0;
     double p99_latency_s = 0.0;
     double mean_queue_wait_s = 0.0;
+    /** Current AIMD in-flight limit (the static pipeline capacity
+     * when AIMD is off). */
+    double inflight_limit = 0.0;
     /** completed_in_deadline / admitted (submitted - rejected). */
     double availability = 1.0;
 };
 
 /**
- * The live serving runtime: one batcher thread, a worker pool, and a
- * bounded request queue between submitters and the batcher. Construct,
- * submit() from any number of threads, then drain() (or destroy) to
- * stop: in-flight and queued requests complete, new submits reject.
+ * The live serving runtime: one batcher thread, a worker pool, an
+ * optional watchdog thread, and a bounded request queue between
+ * submitters and the batcher. Construct, submit() from any number of
+ * threads, then drain() (or destroy) to stop: in-flight and queued
+ * requests complete, new submits reject.
  */
 class LiveServingRuntime
 {
   public:
     /**
-     * Starts the batcher and worker threads. @p executor outlives the
-     * runtime. @p clock defaults to the process SteadyClock; tests
-     * inject a ManualClock.
+     * Starts the batcher, worker, and (when enabled) watchdog
+     * threads. @p executor outlives the runtime. @p clock defaults to
+     * the process SteadyClock; tests inject a ManualClock. @p chaos,
+     * when non-null, injects deterministic control-plane misbehaviour
+     * (must outlive the runtime).
      */
     LiveServingRuntime(const LiveServingConfig &config,
-                       BatchExecutor &executor, Clock *clock = nullptr);
+                       BatchExecutor &executor, Clock *clock = nullptr,
+                       const ChaosInjector *chaos = nullptr);
 
     /** Drains: blocks until every admitted request resolved. */
     ~LiveServingRuntime();
@@ -207,18 +254,23 @@ class LiveServingRuntime
 
     /**
      * Submits @p input (seq_len x hidden rows; every request must
-     * share the first request's shape). Returns the future resolving
-     * to the request's outcome, or nullopt when admission control
-     * rejects (queue full or runtime draining).
+     * share the first request's shape). @p deadline_budget_s < 0
+     * inherits config deadline_s; >= 0 overrides it for this request
+     * (0 means already expired — shed at admission). Returns the
+     * future resolving to the request's outcome, or nullopt when
+     * admission control rejects (queue full, draining, or over the
+     * in-flight limit). A request shed at admission still returns a
+     * future (already resolved with Shed).
      */
     std::optional<std::future<LiveRequestResult>>
-    submit(Tensor input, std::uint64_t tenant = 0)
-        PIMDL_EXCLUDES(stats_mu_);
+    submit(Tensor input, std::uint64_t tenant = 0,
+           double deadline_budget_s = -1.0) PIMDL_EXCLUDES(stats_mu_);
 
     /**
      * Stops accepting requests, flushes the queue through the batcher,
-     * waits for every in-flight batch, and joins all threads.
-     * Idempotent; called by the destructor.
+     * waits for every in-flight batch, and joins all threads
+     * (including watchdog respawns). Idempotent; called by the
+     * destructor.
      */
     void drain() PIMDL_EXCLUDES(drain_mu_);
 
@@ -227,6 +279,16 @@ class LiveServingRuntime
 
     /** Requests currently waiting for the batcher. */
     std::size_t queueDepth() const;
+
+    /** Current circuit-breaker state of the primary backend path. */
+    BreakerState breakerState() const { return breaker_->state(); }
+
+    /**
+     * Seconds a request admitted now is expected to wait before its
+     * batch starts executing, from the queue depths and the served
+     * batch-latency EWMA (0 until an estimate exists).
+     */
+    double estimatedQueueDelayS() const;
 
     const LiveServingConfig &config() const { return config_; }
 
@@ -237,13 +299,63 @@ class LiveServingRuntime
         std::uint64_t tenant = 0;
         Tensor input;
         double enqueue_s = 0.0;
+        /** Absolute deadline, clock seconds; 0 = none. */
+        double deadline_abs_s = 0.0;
         std::promise<LiveRequestResult> promise;
+        /** In-flight slot held against the AIMD limit; released by
+         * fulfill(). */
+        std::atomic<std::int64_t> *inflight = nullptr;
+        bool fulfilled = false;
+
+        /** Resolves the future exactly once and releases the
+         * in-flight slot; later calls are no-ops. */
+        void fulfill(LiveRequestResult &&result);
+
+        /** Safety net: a request destroyed unfulfilled (executor
+         * unwound past the worker, teardown race) still resolves its
+         * future as Failed instead of breaking the promise. */
+        ~PendingRequest();
     };
 
     struct BatchTask
     {
         std::uint64_t id = 0;
+        /** Retry-ladder attempts already consumed (watchdog
+         * re-dispatch continues where the seized worker stopped). */
+        std::size_t attempts_done = 0;
+        /** True for sub-batches produced by poison bisection. */
+        bool bisected = false;
         std::vector<std::unique_ptr<PendingRequest>> requests;
+    };
+
+    /**
+     * Heartbeat registry entry shared between one worker thread and
+     * the watchdog. The worker publishes its in-flight batch here;
+     * the watchdog may seize it (take the requests, mark seized) when
+     * the heartbeat goes stale, after which the worker discards its
+     * late result.
+     */
+    struct WorkerState
+    {
+        std::uint64_t worker_id = 0;
+        Mutex mu;
+        bool has_task PIMDL_GUARDED_BY(mu) = false;
+        bool seized PIMDL_GUARDED_BY(mu) = false;
+        std::uint64_t batch_id PIMDL_GUARDED_BY(mu) = 0;
+        std::size_t attempts_done PIMDL_GUARDED_BY(mu) = 0;
+        bool bisected PIMDL_GUARDED_BY(mu) = false;
+        double heartbeat_s PIMDL_GUARDED_BY(mu) = 0.0;
+        std::vector<std::unique_ptr<PendingRequest>> requests
+            PIMDL_GUARDED_BY(mu);
+        /** Set by the watchdog on respawn: the slot no longer belongs
+         * to this thread; exit after the current batch. */
+        std::atomic<bool> abandoned{false};
+    };
+
+    struct WorkerSlot
+    {
+        std::thread thread;
+        std::shared_ptr<WorkerState> state;
     };
 
     /** References into the process metrics registry (serving.live.*),
@@ -252,15 +364,24 @@ class LiveServingRuntime
     {
         obs::Counter *requests = nullptr;
         obs::Counter *rejected = nullptr;
+        obs::Counter *overload_rejected = nullptr;
         obs::Counter *completed = nullptr;
         obs::Counter *shed = nullptr;
+        obs::Counter *shed_admission = nullptr;
         obs::Counter *deadline_timeouts = nullptr;
         obs::Counter *failed_requests = nullptr;
         obs::Counter *batches = nullptr;
         obs::Counter *batch_retries = nullptr;
         obs::Counter *failed_batches = nullptr;
+        obs::Counter *watchdog_hangs = nullptr;
+        obs::Counter *watchdog_respawns = nullptr;
+        obs::Counter *watchdog_discarded = nullptr;
+        obs::Counter *bisections = nullptr;
+        obs::Counter *poison_isolated = nullptr;
+        obs::Counter *breaker_short_circuited = nullptr;
         obs::Gauge *queue_depth = nullptr;
         obs::Gauge *availability = nullptr;
+        obs::Gauge *inflight_limit = nullptr;
         obs::Histogram *request_latency_s = nullptr;
         obs::Histogram *queue_wait_s = nullptr;
         obs::Histogram *batch_size = nullptr;
@@ -269,18 +390,35 @@ class LiveServingRuntime
     };
 
     void batcherLoop();
-    void workerLoop();
+    void workerLoop(std::shared_ptr<WorkerState> ws);
+    void watchdogLoop();
     /** Sheds past-deadline requests, assigns the batch id, enqueues. */
     void dispatch(BatchTask &&task) PIMDL_EXCLUDES(stats_mu_);
-    void executeBatch(BatchTask task) PIMDL_EXCLUDES(stats_mu_);
-    void fulfillShed(std::unique_ptr<PendingRequest> req, double now)
+    void executeBatch(BatchTask task, WorkerState *ws)
         PIMDL_EXCLUDES(stats_mu_);
+    void fulfillShed(std::unique_ptr<PendingRequest> req, double now,
+                     bool at_admission) PIMDL_EXCLUDES(stats_mu_);
+    /** Terminal failure of a whole batch (retries exhausted with
+     * bisection off/exhausted, or watchdog give-up). */
+    void failBatch(BatchTask task, double now)
+        PIMDL_EXCLUDES(stats_mu_);
+    /** Marks @p old abandoned and starts a replacement thread in its
+     * slot; the dead thread joins at drain. */
+    void respawnWorker(const WorkerState *old)
+        PIMDL_EXCLUDES(workers_mu_);
+    /** Hang threshold: factor x expected (configured or EWMA) batch
+     * latency, floored at min_hang_timeout_s. */
+    double hangTimeoutS() const;
+    void aimdIncreaseLocked() PIMDL_REQUIRES(stats_mu_);
+    void aimdDecreaseLocked() PIMDL_REQUIRES(stats_mu_);
     LiveServingStats statsLocked() const PIMDL_REQUIRES(stats_mu_);
 
     LiveServingConfig config_;
     BatchExecutor &executor_;
     Clock *clock_;
+    const ChaosInjector *chaos_;
     LiveMetrics m_;
+    std::unique_ptr<CircuitBreaker> breaker_;
 
     BoundedMpmcQueue<std::unique_ptr<PendingRequest>> request_queue_;
     /** Small bound: backpressure that keeps the batcher at most a few
@@ -289,8 +427,22 @@ class LiveServingRuntime
     BoundedMpmcQueue<BatchTask> work_queue_;
 
     std::atomic<bool> draining_{false};
+    std::atomic<bool> watchdog_stop_{false};
     std::atomic<std::uint64_t> next_request_id_{1};
     std::atomic<std::uint64_t> next_batch_id_{1};
+    std::atomic<std::uint64_t> next_worker_id_{1};
+    /** Admitted-but-unresolved requests (the AIMD-limited quantity). */
+    std::atomic<std::int64_t> inflight_{0};
+    /** Current AIMD limit; read lock-free by submit, updated under
+     * stats_mu_. */
+    std::atomic<double> inflight_limit_{0.0};
+    /** EWMA of served batch latency, seconds (queue-delay estimate
+     * and watchdog timeout input). */
+    std::atomic<double> batch_service_ewma_{0.0};
+    /** Batches currently executing in workers. */
+    std::atomic<std::int64_t> active_batches_{0};
+    /** Ceiling of the AIMD limit (config or derived capacity). */
+    double inflight_cap_ = 0.0;
 
     /** Serializes drain() callers (destructor vs explicit drain). */
     mutable Mutex drain_mu_;
@@ -306,7 +458,12 @@ class LiveServingRuntime
     std::size_t pinned_cols_ PIMDL_GUARDED_BY(stats_mu_) = 0;
 
     std::thread batcher_;
-    std::vector<std::thread> workers_;
+    std::thread watchdog_;
+    /** Live worker slots plus the threads of abandoned (hung) slots;
+     * all joined at drain. */
+    mutable Mutex workers_mu_;
+    std::vector<WorkerSlot> slots_ PIMDL_GUARDED_BY(workers_mu_);
+    std::vector<std::thread> zombies_ PIMDL_GUARDED_BY(workers_mu_);
 };
 
 } // namespace pimdl

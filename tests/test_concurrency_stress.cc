@@ -10,13 +10,16 @@
  * parallelFor alone degrades to one worker on single-core runners.
  */
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/mpmc_queue.h"
 #include "common/parallel.h"
 #include "lutnn/converter.h"
 #include "obs/metrics.h"
@@ -201,6 +204,83 @@ TEST(ConcurrencyStress, FaultedExecutorRunsUnderParallelFor)
         ASSERT_FALSE(result.fault.host_fallback);
         EXPECT_LT(maxAbsDiff(result.output, reference), 1e-4f);
     });
+}
+
+TEST(ConcurrencyStress, MpmcCloseRacesPushAndPop)
+{
+    // The drain path closes the request/work queues while submitters
+    // and workers are mid push/pop; the queue contract is that no
+    // accepted item is ever lost to the close. 4 pushers x 4 poppers
+    // race a closer and the accounting must balance exactly.
+    constexpr std::size_t kPushers = 4;
+    constexpr std::size_t kPoppers = 4;
+    constexpr std::size_t kPerPusher = 256;
+    for (int iteration = 0; iteration < 8; ++iteration) {
+        BoundedMpmcQueue<std::size_t> queue(16);
+        std::atomic<std::size_t> pushed{0};
+        std::atomic<std::size_t> popped{0};
+        std::atomic<bool> closed{false};
+
+        std::vector<std::thread> pool;
+        for (std::size_t p = 0; p < kPushers; ++p) {
+            pool.emplace_back([&]() {
+                for (std::size_t i = 0; i < kPerPusher; ++i) {
+                    std::size_t item = i;
+                    if (queue.tryPushOrKeep(item))
+                        pushed.fetch_add(1, std::memory_order_relaxed);
+                    else if (queue.closed())
+                        return; // producers stop at close
+                }
+            });
+        }
+        for (std::size_t c = 0; c < kPoppers; ++c) {
+            pool.emplace_back([&]() {
+                std::size_t item = 0;
+                // pop() returns false only once closed *and* empty,
+                // so this drains everything accepted before close.
+                while (queue.pop(item))
+                    popped.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        pool.emplace_back([&]() {
+            // Close mid-flight: yield a few times so pushes and pops
+            // are in progress on most schedules.
+            for (int y = 0; y < 50; ++y)
+                std::this_thread::yield();
+            queue.close();
+            closed.store(true, std::memory_order_release);
+        });
+        for (std::thread &t : pool)
+            t.join();
+
+        EXPECT_TRUE(closed.load());
+        EXPECT_EQ(popped.load(), pushed.load())
+            << "every accepted item must be drained, none duplicated";
+        EXPECT_TRUE(queue.empty());
+        std::size_t leftover = 0;
+        EXPECT_FALSE(queue.pop(leftover));
+    }
+}
+
+TEST(ConcurrencyStress, MpmcTryPushOrKeepPreservesRejectedValue)
+{
+    // tryPush takes by value, so a rejected unique_ptr would be
+    // destroyed; tryPushOrKeep must leave it intact for rerouting
+    // (the watchdog re-dispatch depends on this).
+    BoundedMpmcQueue<std::unique_ptr<int>> queue(1);
+    auto first = std::make_unique<int>(1);
+    ASSERT_TRUE(queue.tryPushOrKeep(first));
+    EXPECT_EQ(first, nullptr) << "accepted items are moved in";
+
+    auto second = std::make_unique<int>(2);
+    EXPECT_FALSE(queue.tryPushOrKeep(second)) << "queue is full";
+    ASSERT_NE(second, nullptr) << "rejected items must survive";
+    EXPECT_EQ(*second, 2);
+
+    queue.close();
+    auto third = std::make_unique<int>(3);
+    EXPECT_FALSE(queue.tryPushOrKeep(third));
+    ASSERT_NE(third, nullptr) << "closed-queue rejects must survive";
 }
 
 } // namespace
