@@ -10,6 +10,8 @@ tuner search counters).
 Usage: check_metrics.py <snapshot.json> [--require-fault-exec]
                         [--require-verify] [--require-serving-live]
                         [--require-backend-xval] [--require-resilience]
+                        [--require-lockorder-clean]
+       check_metrics.py --dump-schema
 
 --require-fault-exec additionally requires the fault.lut.* /
 fault.injected.* execution-ladder keys, which only appear when a bench
@@ -36,6 +38,17 @@ resilience keys (serving.live.watchdog.*, serving.live.breaker.*,
 poison isolation / bisection / shedding counters) and the chaos.*
 injector counters, which only appear when a bench drove the resilient
 live runtime under the chaos harness (bench_chaos).
+
+--require-lockorder-clean fails when the runtime lock-order analysis
+(PIMDL_DEADLOCK_CHECK) was not enabled for the run or reported any
+potential deadlock: a lock-order cycle, a self-lock, or a wait on a
+CondVar while holding another mutex.
+
+--dump-schema prints the full required-key schema as JSON (per
+section: counters / gauges / gauge_patterns / histograms, for the base
+schema and each --require-* mode) and exits; scripts/lint_invariants.py
+diffs this against the metric names the C++ tree actually publishes so
+the two sides cannot drift apart silently.
 """
 
 import json
@@ -105,6 +118,7 @@ BACKEND_XVAL_COUNTERS = [
     "backend.txn.commands_issued",
     "backend.txn.bank_conflicts",
     "backend.txn.mode_switches",
+    "backend.txn.trace_suppressed",
 ]
 BACKEND_XVAL_GAUGES = [
     "backend.impl",
@@ -137,6 +151,22 @@ RESILIENCE_GAUGES = [
     "serving.live.inflight_limit",
 ]
 
+# Published by every snapshot (obs/snapshot.cc mirrors the lock-order
+# tracker's totals unconditionally; all-zero when the detector is off).
+LOCKORDER_COUNTERS = [
+    "analysis.lockorder.acquisitions",
+    "analysis.lockorder.edges",
+    "analysis.lockorder.cycles",
+    "analysis.lockorder.self_lock",
+    "analysis.lockorder.wait_while_holding",
+    "analysis.lockorder.hold_budget_exceeded",
+]
+LOCKORDER_GAUGES = [
+    "analysis.lockorder.enabled",
+    "analysis.lockorder.locks_live",
+    "analysis.lockorder.edges_live",
+]
+
 # Only present when plan verification ran (PIMDL_VERIFY_PLANS=1).
 VERIFY_COUNTERS = [
     "verify.plans_verified",
@@ -167,6 +197,63 @@ REQUIRED_HISTOGRAMS = [
 
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"]
 
+# The full required-key schema, keyed by mode ("base" is unconditional;
+# the rest correspond 1:1 to the --require-* flags). --dump-schema
+# emits exactly this structure so external tooling (the cross-language
+# drift lint) consumes the same source of truth main() enforces.
+SCHEMA_MODES = {
+    "base": {
+        "counters": REQUIRED_COUNTERS + LOCKORDER_COUNTERS,
+        "gauges": LOCKORDER_GAUGES,
+        "gauge_patterns": REQUIRED_GAUGE_PATTERNS,
+        "histograms": REQUIRED_HISTOGRAMS,
+    },
+    "fault-exec": {
+        "counters": FAULT_EXEC_COUNTERS,
+        "gauges": [],
+        "gauge_patterns": [],
+        "histograms": FAULT_EXEC_HISTOGRAMS,
+    },
+    "serving-live": {
+        "counters": SERVING_LIVE_COUNTERS,
+        "gauges": SERVING_LIVE_GAUGES,
+        "gauge_patterns": [],
+        "histograms": SERVING_LIVE_HISTOGRAMS,
+    },
+    "backend-xval": {
+        "counters": BACKEND_XVAL_COUNTERS,
+        "gauges": BACKEND_XVAL_GAUGES,
+        "gauge_patterns": [],
+        "histograms": [],
+    },
+    "resilience": {
+        "counters": RESILIENCE_COUNTERS,
+        "gauges": RESILIENCE_GAUGES,
+        "gauge_patterns": [],
+        "histograms": [],
+    },
+    "verify": {
+        "counters": VERIFY_COUNTERS,
+        "gauges": [],
+        "gauge_patterns": [],
+        "histograms": VERIFY_HISTOGRAMS,
+    },
+}
+
+
+def dump_schema():
+    print(
+        json.dumps(
+            {
+                "schema": SCHEMA,
+                "histogram_fields": HISTOGRAM_FIELDS,
+                "modes": SCHEMA_MODES,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+
 
 def fail(message):
     print(f"check_metrics: FAIL: {message}", file=sys.stderr)
@@ -175,18 +262,23 @@ def fail(message):
 
 def main():
     args = sys.argv[1:]
+    if args == ["--dump-schema"]:
+        dump_schema()
+        return
     require_fault_exec = "--require-fault-exec" in args
     require_verify = "--require-verify" in args
     require_serving_live = "--require-serving-live" in args
     require_backend_xval = "--require-backend-xval" in args
     require_resilience = "--require-resilience" in args
+    require_lockorder_clean = "--require-lockorder-clean" in args
     args = [a for a in args if not a.startswith("--require-")]
     if len(args) != 1:
         fail(
             f"usage: {sys.argv[0]} <snapshot.json> "
             "[--require-fault-exec] [--require-verify] "
             "[--require-serving-live] [--require-backend-xval] "
-            "[--require-resilience]"
+            "[--require-resilience] [--require-lockorder-clean] "
+            f"| {sys.argv[0]} --dump-schema"
         )
 
     try:
@@ -202,9 +294,13 @@ def main():
         if section not in snap:
             fail(f"missing section {section!r}")
 
-    for name in REQUIRED_COUNTERS:
+    for name in REQUIRED_COUNTERS + LOCKORDER_COUNTERS:
         if name not in snap["counters"]:
             fail(f"missing counter {name!r}")
+
+    for name in LOCKORDER_GAUGES:
+        if name not in snap["gauges"]:
+            fail(f"missing gauge {name!r}")
 
     for pattern in REQUIRED_GAUGE_PATTERNS:
         if not any(re.fullmatch(pattern, g) for g in snap["gauges"]):
@@ -306,6 +402,30 @@ def main():
                 "verifier reported "
                 f"{snap['counters']['verify.errors']} error(s) on "
                 "lowered plans"
+            )
+
+    if require_lockorder_clean:
+        if snap["gauges"]["analysis.lockorder.enabled"] != 1:
+            fail(
+                "lock-order cleanliness required but the detector was "
+                "not enabled for this run (PIMDL_DEADLOCK_CHECK)"
+            )
+        for name in (
+            "analysis.lockorder.cycles",
+            "analysis.lockorder.self_lock",
+            "analysis.lockorder.wait_while_holding",
+        ):
+            if snap["counters"][name] != 0:
+                fail(
+                    f"lock-order analysis reported "
+                    f"{snap['counters'][name]} violation(s) in "
+                    f"{name!r} — see the run's stderr for the cycle "
+                    "report"
+                )
+        if snap["counters"]["analysis.lockorder.acquisitions"] == 0:
+            fail(
+                "lock-order analysis enabled but tracked no "
+                "acquisitions — detector wiring is broken"
             )
 
     # Sanity: the serving percentiles must be ordered and positive.

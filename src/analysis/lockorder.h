@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Runtime lock-order analysis: potential-deadlock detection for the
+ * annotated Mutex/CondVar primitives (common/thread_annotations.h).
+ *
+ * Clang's thread-safety analysis and TSan catch unguarded access and
+ * races that *manifest*; neither catches a lock-order inversion that
+ * only deadlocks under an unlucky interleaving. This layer does: every
+ * tracked acquisition records a (held -> acquired) edge in one global
+ * lock-order graph, and inserting an edge that closes a cycle reports
+ * the potential ABBA deadlock deterministically the first time the
+ * inverted order is exercised on ANY interleaving — no hang required
+ * (the abseil GraphCycles idea). On top of the cycle check it detects
+ * self-deadlock (re-acquiring a held non-recursive mutex), waiting on
+ * a CondVar while holding a *different* mutex (the held one stays
+ * locked for the whole blocked wait), and warns when a lock is held
+ * longer than a configurable budget.
+ *
+ * Layering: this library depends on the C++ standard library only —
+ * thread_annotations.h (pimdl_common) calls DOWN into these hooks, and
+ * obs/snapshot.cc mirrors lockOrderStats() into analysis.lockorder.*
+ * metrics, so neither obs nor common is a dependency here. Violations
+ * are reported through an injectable handler (stderr by default) and a
+ * policy (log / throw / fatal).
+ *
+ * Cost: when disabled every hook is one relaxed atomic load; tracked
+ * mode takes one global tracker mutex per lock/unlock, which is why
+ * the switch exists (debug builds default on, release builds opt in
+ * via PIMDL_DEADLOCK_CHECK=1 or setDeadlockCheckEnabled(true)).
+ */
+
+#ifndef PIMDL_ANALYSIS_LOCKORDER_H
+#define PIMDL_ANALYSIS_LOCKORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace pimdl {
+namespace analysis {
+
+/** File/line of a lock acquisition, captured at the call site via the
+ * PIMDL_CALLER_SITE default argument (no macros at call sites). */
+struct LockSite
+{
+    const char *file = "?";
+    int line = 0;
+
+#if defined(__clang__) || defined(__GNUC__)
+    /** std::source_location::current() idiom: as a default argument
+     * of current(), the builtins take the location where current() is
+     * invoked — which, via PIMDL_CALLER_SITE, is the caller of
+     * lock()/MutexLock/wait(). (The builtins must NOT sit directly in
+     * a braced-init-list default argument: GCC then reports the
+     * declaration's own location instead of the caller's.) */
+    static LockSite
+    current(const char *file = __builtin_FILE(),
+            int line = __builtin_LINE())
+    {
+        return LockSite{file, line};
+    }
+#else
+    static LockSite current() { return LockSite{}; }
+#endif
+};
+
+#define PIMDL_CALLER_SITE ::pimdl::analysis::LockSite::current()
+
+/** What went wrong; HoldBudget is a warning (never throws/aborts). */
+enum class ViolationKind
+{
+    LockOrderCycle,
+    SelfLock,
+    WaitWhileHolding,
+    HoldBudget,
+};
+
+const char *violationKindName(ViolationKind kind);
+
+/** One detected violation, with a fully rendered report message that
+ * names every involved mutex and its acquisition site. */
+struct Violation
+{
+    ViolationKind kind = ViolationKind::LockOrderCycle;
+    std::string message;
+};
+
+/** Thrown by the hooks under LockOrderPolicy::Throw (tests use this
+ * to assert a seeded inversion is caught without hanging). */
+class LockOrderViolation : public std::runtime_error
+{
+  public:
+    LockOrderViolation(ViolationKind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {}
+
+    ViolationKind kind() const { return kind_; }
+
+  private:
+    ViolationKind kind_;
+};
+
+/** What happens after a violation is counted and handed to the
+ * handler. HoldBudget warnings always behave as Log. */
+enum class LockOrderPolicy
+{
+    /** Report and continue (default). */
+    Log,
+    /** Throw LockOrderViolation from the acquiring thread. */
+    Throw,
+    /** Print and std::abort() — serving deployments that prefer a
+     * crash dump over a latent deadlock. */
+    Fatal,
+};
+
+/** Monotonic totals since process start (never reset; readers diff). */
+struct LockOrderStats
+{
+    std::uint64_t acquisitions = 0;
+    std::uint64_t edges_added = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t self_locks = 0;
+    std::uint64_t wait_while_holding = 0;
+    std::uint64_t hold_budget_exceeded = 0;
+    /** Currently registered (live) mutexes / order edges. */
+    std::uint64_t locks_live = 0;
+    std::uint64_t edges_live = 0;
+};
+
+LockOrderStats lockOrderStats();
+
+/**
+ * Master switch. Resolution: setDeadlockCheckEnabled() override, else
+ * the PIMDL_DEADLOCK_CHECK environment variable ("0"/"off"/"false"/
+ * "no" disable, anything else enables), else on in debug builds
+ * (!NDEBUG) and off in release.
+ */
+bool deadlockCheckEnabled();
+void setDeadlockCheckEnabled(bool enabled);
+
+/** Violation policy: setLockOrderPolicy() override, else the
+ * PIMDL_DEADLOCK_POLICY environment variable ("log"/"throw"/"fatal"),
+ * else Log. */
+LockOrderPolicy lockOrderPolicy();
+void setLockOrderPolicy(LockOrderPolicy policy);
+
+/**
+ * Hold-time budget, seconds: a release (or CondVar wait) of a lock
+ * held longer than this counts a HoldBudget warning. <= 0 disables.
+ * Default: 1.0s, or the PIMDL_LOCK_HOLD_BUDGET_S environment variable.
+ */
+double lockHoldBudgetS();
+void setLockHoldBudgetS(double seconds);
+
+/**
+ * Replaces the violation sink (nullptr restores the stderr default).
+ * Called before the policy acts, from the violating thread, with no
+ * tracker lock held. Tests install a capturing handler.
+ */
+void setViolationHandler(std::function<void(const Violation &)> handler);
+
+// --- Hooks wired into Mutex/CondVar (thread_annotations.h). ---------
+// @p mu is an opaque identity (the Mutex address); @p name is a
+// static-lifetime label or nullptr. Every hook is a no-op while
+// deadlockCheckEnabled() is false.
+
+/** Pre-lock: self-lock check, order-edge insertion + cycle check,
+ * held-stack push. Runs BEFORE blocking on the underlying mutex so a
+ * potential deadlock is reported even when the lock would hang. */
+void onMutexAcquire(const void *mu, const char *name, LockSite site);
+
+/** Post-lock: stamps the hold-start time (thread-local only). */
+void onMutexAcquired(const void *mu);
+
+/** Successful tryLock: pushes the held entry WITHOUT order edges (a
+ * non-blocking acquisition cannot be the blocked arc of a deadlock). */
+void onMutexTryAcquired(const void *mu, const char *name, LockSite site);
+
+/** Pre-unlock: pops the held entry, checks the hold budget. */
+void onMutexRelease(const void *mu);
+
+/** Mutex destruction: unregisters the node and its edges (addresses
+ * get reused; a stale node would fabricate false orders). */
+void onMutexDestroy(const void *mu);
+
+/**
+ * CondVar wait entry: reports WaitWhileHolding when any mutex other
+ * than @p mu is still held — it stays locked for the entire blocked
+ * wait, which is a deadlock the order graph cannot see. The release/
+ * reacquire of @p mu itself is tracked by the Mutex lock/unlock hooks
+ * (condition_variable_any drives them directly).
+ */
+void onCondVarWait(const void *mu, const char *cv_name, LockSite site);
+
+namespace detail {
+
+/** -1 unresolved, 0 off, 1 on; resolved lazily from env/build. */
+extern std::atomic<int> g_lockorder_state;
+int resolveLockOrderState();
+
+} // namespace detail
+
+/** Inline fast path for the Mutex hooks: one relaxed load when the
+ * state is resolved (the common case after the first acquisition). */
+inline bool
+deadlockCheckActive()
+{
+    const int state =
+        detail::g_lockorder_state.load(std::memory_order_relaxed);
+    if (state >= 0)
+        return state != 0;
+    return detail::resolveLockOrderState() != 0;
+}
+
+} // namespace analysis
+} // namespace pimdl
+
+#endif // PIMDL_ANALYSIS_LOCKORDER_H

@@ -32,7 +32,7 @@ levelName(LogLevel level)
 Mutex &
 emitMutex()
 {
-    static Mutex mutex;
+    static Mutex mutex{"logging.emit"};
     return mutex;
 }
 

@@ -34,8 +34,11 @@ template <typename T>
 class BoundedMpmcQueue
 {
   public:
-    explicit BoundedMpmcQueue(std::size_t capacity)
-        : capacity_(capacity)
+    /** Optional @p name labels this queue's lock in lock-order
+     * reports; must be a static string literal. */
+    explicit BoundedMpmcQueue(std::size_t capacity,
+                              const char *name = "mpmc.queue")
+        : capacity_(capacity), mu_(name)
     {
         PIMDL_REQUIRE(capacity > 0, "queue capacity must be positive");
     }
@@ -185,8 +188,8 @@ class BoundedMpmcQueue
   private:
     const std::size_t capacity_;
     mutable Mutex mu_;
-    CondVar not_empty_;
-    CondVar not_full_;
+    CondVar not_empty_{"mpmc.not_empty"};
+    CondVar not_full_{"mpmc.not_full"};
     std::deque<T> items_ PIMDL_GUARDED_BY(mu_);
     bool closed_ PIMDL_GUARDED_BY(mu_) = false;
 };

@@ -25,7 +25,7 @@ secondsSince(const std::chrono::steady_clock::time_point &start)
  * the thread-safety analysis can check the cross-thread handoff. */
 struct ErrorSlot
 {
-    Mutex mu;
+    Mutex mu{"parallel.error_slot"};
     std::exception_ptr first PIMDL_GUARDED_BY(mu);
 
     void

@@ -23,6 +23,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "analysis/lockorder.h"
+
 #if defined(__clang__) && (!defined(SWIG))
 #define PIMDL_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -78,29 +80,75 @@ namespace pimdl {
  *   Thing thing_ PIMDL_GUARDED_BY(mu_);
  * and every access outside a MutexLock (or PIMDL_REQUIRES function)
  * becomes a compile-time -Wthread-safety diagnostic under Clang.
+ *
+ * Every acquisition also feeds the runtime lock-order analysis
+ * (analysis/lockorder.h) when PIMDL_DEADLOCK_CHECK is on: the optional
+ * constructor name labels this mutex in potential-deadlock reports,
+ * and acquisition sites are captured automatically at call sites via
+ * PIMDL_CALLER_SITE default arguments. The name must be a static
+ * string literal (it is kept by pointer until first acquisition).
  */
 class PIMDL_CAPABILITY("mutex") Mutex
 {
   public:
-    Mutex() = default;
+    explicit Mutex(const char *name = nullptr) : name_(name) {}
     Mutex(const Mutex &) = delete;
     Mutex &operator=(const Mutex &) = delete;
 
-    void lock() PIMDL_ACQUIRE() { mu_.lock(); }
-    void unlock() PIMDL_RELEASE() { mu_.unlock(); }
-    bool tryLock() PIMDL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+    ~Mutex() { analysis::onMutexDestroy(this); }
+
+    void
+    lock(analysis::LockSite site = PIMDL_CALLER_SITE) PIMDL_ACQUIRE()
+    {
+        // Order analysis runs BEFORE blocking, so an inverted order is
+        // reported even on the interleaving that would actually hang.
+        analysis::onMutexAcquire(this, name_, site);
+        mu_.lock();
+        analysis::onMutexAcquired(this);
+    }
+
+    void
+    unlock() PIMDL_RELEASE()
+    {
+        // Physical unlock first: the release hook can report a
+        // hold-budget violation, and a violation handler that itself
+        // takes this very mutex must not find it still locked.
+        mu_.unlock();
+        analysis::onMutexRelease(this);
+    }
+
+    bool
+    tryLock(analysis::LockSite site = PIMDL_CALLER_SITE)
+        PIMDL_TRY_ACQUIRE(true)
+    {
+        if (!mu_.try_lock())
+            return false;
+        // A non-blocking acquisition cannot be the blocked arc of a
+        // deadlock, so it joins the held stack without order edges.
+        analysis::onMutexTryAcquired(this, name_, site);
+        return true;
+    }
+
+    /** Lock-order report label (nullptr when unnamed). */
+    const char *name() const { return name_; }
 
   private:
+    friend class CondVar;
+
     std::mutex mu_;
+    const char *name_;
 };
 
 /** Annotated scoped lock over Mutex (the lock_guard counterpart). */
 class PIMDL_SCOPED_CAPABILITY MutexLock
 {
   public:
-    explicit MutexLock(Mutex &mu) PIMDL_ACQUIRE(mu) : mu_(mu)
+    explicit MutexLock(Mutex &mu,
+                       analysis::LockSite site = PIMDL_CALLER_SITE)
+        PIMDL_ACQUIRE(mu)
+        : mu_(mu)
     {
-        mu_.lock();
+        mu_.lock(site);
     }
 
     ~MutexLock() PIMDL_RELEASE() { mu_.unlock(); }
@@ -124,8 +172,17 @@ class PIMDL_SCOPED_CAPABILITY MutexLock
 class CondVar
 {
   public:
+    /** Optional @p name labels this CondVar in wait-while-holding
+     * reports; must be a static string literal. */
+    explicit CondVar(const char *name = nullptr) : name_(name) {}
+
     /** Blocks until notified; @p mu must be held, held again on return. */
-    void wait(Mutex &mu) PIMDL_REQUIRES(mu) { waitImpl(mu); }
+    void
+    wait(Mutex &mu, analysis::LockSite site = PIMDL_CALLER_SITE)
+        PIMDL_REQUIRES(mu)
+    {
+        waitImpl(mu, site);
+    }
 
     /**
      * Blocks until notified or @p timeout elapses; returns false on
@@ -133,12 +190,15 @@ class CondVar
      */
     template <typename Rep, typename Period>
     bool
-    waitFor(Mutex &mu, const std::chrono::duration<Rep, Period> &timeout)
+    waitFor(Mutex &mu, const std::chrono::duration<Rep, Period> &timeout,
+            analysis::LockSite site = PIMDL_CALLER_SITE)
         PIMDL_REQUIRES(mu)
     {
         return waitForImpl(
-            mu, std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    timeout));
+            mu,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                timeout),
+            site);
     }
 
     void notifyOne() { cv_.notify_one(); }
@@ -146,20 +206,29 @@ class CondVar
 
   private:
     /** condition_variable_any unlocks/relocks mu behind the analysis's
-     * back; the REQUIRES contract on the public entry points holds. */
-    void waitImpl(Mutex &mu) PIMDL_NO_THREAD_SAFETY_ANALYSIS
+     * back; the REQUIRES contract on the public entry points holds.
+     * The lock-order tracker sees the release/reacquire through the
+     * Mutex hooks the wait drives; the explicit hook here only checks
+     * that no OTHER lock is held across the blocked wait. */
+    void
+    waitImpl(Mutex &mu, analysis::LockSite site)
+        PIMDL_NO_THREAD_SAFETY_ANALYSIS
     {
+        analysis::onCondVarWait(&mu, name_, site);
         cv_.wait(mu);
     }
 
     bool
-    waitForImpl(Mutex &mu, std::chrono::nanoseconds timeout)
+    waitForImpl(Mutex &mu, std::chrono::nanoseconds timeout,
+                analysis::LockSite site)
         PIMDL_NO_THREAD_SAFETY_ANALYSIS
     {
+        analysis::onCondVarWait(&mu, name_, site);
         return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
     }
 
     std::condition_variable_any cv_;
+    const char *name_;
 };
 
 } // namespace pimdl

@@ -209,7 +209,7 @@ class FaultInjector
     FaultConfig config_;
     /** Guards forced_failed_: operator drains (forceFailPe) may race
      * concurrent PE-liveness queries from parallelFor workers. */
-    mutable Mutex forced_mu_;
+    mutable Mutex forced_mu_{"fault.forced_pes"};
     std::set<std::size_t> forced_failed_ PIMDL_GUARDED_BY(forced_mu_);
     mutable std::atomic<std::uint64_t> epoch_{0};
 };

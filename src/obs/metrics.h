@@ -122,7 +122,7 @@ class Histogram
     /** Percentile over an already-extracted sample copy. */
     double percentileLocked(std::vector<double> sorted, double p) const;
 
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{"obs.metrics.histogram"};
     std::vector<double> samples_ PIMDL_GUARDED_BY(mutex_);
     std::size_t capacity_;
     std::uint64_t count_ PIMDL_GUARDED_BY(mutex_) = 0;
@@ -167,7 +167,7 @@ class MetricsRegistry
   private:
     MetricsRegistry() = default;
 
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{"obs.metrics.registry"};
     std::map<std::string, std::unique_ptr<Counter>> counters_
         PIMDL_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Gauge>> gauges_

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/lockorder.h"
 #include "json.h"
 #include "metrics.h"
 #include "trace.h"
@@ -11,9 +12,63 @@
 namespace pimdl {
 namespace obs {
 
+namespace {
+
+/**
+ * Mirrors the lock-order tracker's monotonic totals into the
+ * analysis.lockorder.* metrics. The tracker (src/analysis) sits below
+ * obs in the layering and cannot publish directly — its own hooks run
+ * inside every annotated Mutex, including the registry's — so the
+ * snapshot path pulls instead: counters advance by the delta since
+ * the last publish (and the baseline resets with resetAll(), keeping
+ * the mirrored counters aligned with the zeroed registry).
+ */
+struct LockOrderMirror
+{
+    Mutex mu{"obs.snapshot.lockorder_mirror"};
+    analysis::LockOrderStats last PIMDL_GUARDED_BY(mu);
+
+    void
+    publish() PIMDL_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        const analysis::LockOrderStats now = analysis::lockOrderStats();
+        reg.counter("analysis.lockorder.acquisitions")
+            .add(now.acquisitions - last.acquisitions);
+        reg.counter("analysis.lockorder.edges")
+            .add(now.edges_added - last.edges_added);
+        reg.counter("analysis.lockorder.cycles")
+            .add(now.cycles - last.cycles);
+        reg.counter("analysis.lockorder.self_lock")
+            .add(now.self_locks - last.self_locks);
+        reg.counter("analysis.lockorder.wait_while_holding")
+            .add(now.wait_while_holding - last.wait_while_holding);
+        reg.counter("analysis.lockorder.hold_budget_exceeded")
+            .add(now.hold_budget_exceeded - last.hold_budget_exceeded);
+        reg.gauge("analysis.lockorder.enabled")
+            .set(analysis::deadlockCheckEnabled() ? 1.0 : 0.0);
+        reg.gauge("analysis.lockorder.locks_live")
+            .set(static_cast<double>(now.locks_live));
+        reg.gauge("analysis.lockorder.edges_live")
+            .set(static_cast<double>(now.edges_live));
+        last = now;
+    }
+};
+
+LockOrderMirror &
+lockOrderMirror()
+{
+    static LockOrderMirror mirror;
+    return mirror;
+}
+
+} // namespace
+
 std::string
 snapshotJson()
 {
+    lockOrderMirror().publish();
     MetricsRegistry &registry = MetricsRegistry::instance();
     Tracer &tracer = Tracer::instance();
 
@@ -59,6 +114,12 @@ resetAll()
 {
     MetricsRegistry::instance().reset();
     Tracer::instance().clear();
+    // Re-baseline the lock-order mirror: the registry's zeroed
+    // counters must accumulate deltas from this point, not since
+    // process start.
+    LockOrderMirror &mirror = lockOrderMirror();
+    MutexLock lock(mirror.mu);
+    mirror.last = analysis::lockOrderStats();
 }
 
 } // namespace obs

@@ -79,7 +79,7 @@ class Tracer
   private:
     Tracer();
 
-    mutable Mutex mutex_;
+    mutable Mutex mutex_{"obs.trace.ring"};
     std::vector<TraceEvent> ring_ PIMDL_GUARDED_BY(mutex_);
     std::size_t capacity_ PIMDL_GUARDED_BY(mutex_) = kDefaultCapacity;
     std::size_t head_ PIMDL_GUARDED_BY(mutex_) = 0;

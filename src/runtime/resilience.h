@@ -165,7 +165,7 @@ class CircuitBreaker
     const CircuitBreakerConfig config_;
     Clock *clock_;
 
-    mutable Mutex mu_;
+    mutable Mutex mu_{"resilience.breaker"};
     BreakerState state_ PIMDL_GUARDED_BY(mu_) = BreakerState::Closed;
     /** Recent primary outcomes, true = failure (Closed only). */
     std::deque<bool> outcomes_ PIMDL_GUARDED_BY(mu_);

@@ -186,7 +186,7 @@ class ServingSimulator
     TransformerConfig model_;
     LutNnParams params_;
     /** Guards latency_cache_ (sweeps probe batches in parallel). */
-    mutable Mutex cache_mu_;
+    mutable Mutex cache_mu_{"serving.sim.latency_cache"};
     /** Memoized per (batch, policy) latency. */
     mutable std::map<std::pair<std::size_t, SchedulePolicy>, double>
         latency_cache_ PIMDL_GUARDED_BY(cache_mu_);

@@ -126,8 +126,11 @@ LiveServingRuntime::LiveServingRuntime(const LiveServingConfig &config,
                                        const ChaosInjector *chaos)
     : config_((config.validate(), config)), executor_(executor),
       clock_(clock != nullptr ? clock : &SteadyClock::instance()),
-      chaos_(chaos), request_queue_(config_.queue_capacity),
-      work_queue_(std::max<std::size_t>(2 * config_.workers, 2))
+      chaos_(chaos),
+      request_queue_(config_.queue_capacity,
+                     "serving.live.request_queue"),
+      work_queue_(std::max<std::size_t>(2 * config_.workers, 2),
+                  "serving.live.work_queue")
 {
     obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
     m_.requests = &reg.counter("serving.live.requests");
@@ -784,8 +787,10 @@ LiveServingRuntime::watchdogLoop()
     while (!watchdog_stop_.load(std::memory_order_acquire)) {
         // Real-time sleep even under a virtual clock — the watchdog
         // re-reads (possibly virtual) time each poll, mirroring the
-        // batcher's poll-slice pattern.
-        std::this_thread::sleep_for(slice);
+        // batcher's poll-slice pattern. Routed through SteadyClock so
+        // raw std::this_thread::sleep_for stays banned outside
+        // common/clock.h (scripts/lint_invariants.py).
+        SteadyClock::instance().sleepFor(slice.count());
         const double now = clock_->now();
         const double timeout = hangTimeoutS();
 

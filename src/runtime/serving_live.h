@@ -338,7 +338,7 @@ class LiveServingRuntime
     struct WorkerState
     {
         std::uint64_t worker_id = 0;
-        Mutex mu;
+        Mutex mu{"serving.live.worker"};
         bool has_task PIMDL_GUARDED_BY(mu) = false;
         bool seized PIMDL_GUARDED_BY(mu) = false;
         std::uint64_t batch_id PIMDL_GUARDED_BY(mu) = 0;
@@ -445,10 +445,10 @@ class LiveServingRuntime
     double inflight_cap_ = 0.0;
 
     /** Serializes drain() callers (destructor vs explicit drain). */
-    mutable Mutex drain_mu_;
+    mutable Mutex drain_mu_{"serving.live.drain"};
     bool drained_ PIMDL_GUARDED_BY(drain_mu_) = false;
 
-    mutable Mutex stats_mu_;
+    mutable Mutex stats_mu_{"serving.live.stats"};
     LiveServingStats acc_ PIMDL_GUARDED_BY(stats_mu_);
     double batch_size_sum_ PIMDL_GUARDED_BY(stats_mu_) = 0.0;
     std::vector<double> latencies_ PIMDL_GUARDED_BY(stats_mu_);
@@ -461,7 +461,7 @@ class LiveServingRuntime
     std::thread watchdog_;
     /** Live worker slots plus the threads of abandoned (hung) slots;
      * all joined at drain. */
-    mutable Mutex workers_mu_;
+    mutable Mutex workers_mu_{"serving.live.workers"};
     std::vector<WorkerSlot> slots_ PIMDL_GUARDED_BY(workers_mu_);
     std::vector<std::thread> zombies_ PIMDL_GUARDED_BY(workers_mu_);
 };

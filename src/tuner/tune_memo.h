@@ -63,7 +63,7 @@ class TuneMemo
 
   private:
     const AutoTuner &tuner_;
-    mutable Mutex mu_;
+    mutable Mutex mu_{"tuner.tune_memo"};
     mutable std::map<LutWorkloadShape, AutoTuneResult> cache_
         PIMDL_GUARDED_BY(mu_);
 };

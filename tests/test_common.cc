@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -12,6 +11,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace pimdl {
@@ -116,11 +116,11 @@ TEST(ParallelBlocked, BlocksAlignToGrain)
     // may be shorter than the grain.
     const std::size_t count = 103;
     const std::size_t grain = 8;
-    std::mutex mu;
+    Mutex mu{"test.common.blocks"};
     std::vector<std::pair<std::size_t, std::size_t>> blocks;
     parallelForBlocked(count, grain,
                        [&](std::size_t begin, std::size_t end) {
-                           std::lock_guard<std::mutex> lock(mu);
+                           MutexLock lock(mu);
                            blocks.emplace_back(begin, end);
                        });
     for (const auto &block : blocks) {
