@@ -14,6 +14,13 @@ Supports two run schemas, auto-detected from the "schema" field:
   against bench/baselines/serving.json; higher is better and the build
   fails when any scenario's fraction drops by more than the tolerance.
 
+* pimdl.bench.transfer.v1 (from `bench_transfer --json`): every
+  higher-is-better transfer-engine scalar (achieved GB/s at fixed
+  burst sizes, coalescing speedup, resident-LUT hit rate, overlap
+  fraction, end-to-end speedup — all model-derived and deterministic)
+  is compared against bench/baselines/transfer.json; the build fails
+  when any entry drops by more than the tolerance.
+
 Entries present in the run but absent from the baseline are reported
 and accepted (new kernels / scenarios land with their first measurement
 via --update); entries present in the baseline but missing from the run
@@ -38,6 +45,7 @@ import sys
 
 KERNELS_SCHEMA = "pimdl.bench.kernels.v1"
 SERVING_SCHEMA = "pimdl.bench.serving.v1"
+TRANSFER_SCHEMA = "pimdl.bench.transfer.v1"
 
 # Per-schema gating profile: entry key fields, the gated metric, which
 # direction is better, and the default baseline location.
@@ -55,6 +63,13 @@ PROFILES = {
         "better": "higher",
         "unit": "goodput frac",
         "baseline": "bench/baselines/serving.json",
+    },
+    TRANSFER_SCHEMA: {
+        "key_fields": ("entry",),
+        "metric": "value",
+        "better": "higher",
+        "unit": "value",
+        "baseline": "bench/baselines/transfer.json",
     },
 }
 
@@ -131,9 +146,25 @@ def write_serving_summary(path, entries):
         fh.write("\n".join(lines) + "\n")
 
 
+def write_transfer_summary(path, entries):
+    lines = [
+        "### Transfer-engine benchmark",
+        "",
+        "| entry | value |",
+        "|---|---:|",
+    ]
+    for key in sorted(entries):
+        e = entries[key]
+        lines.append(f"| {e['entry']} | {e['value']:.4f} |")
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
 def write_summary(path, schema, entries):
     if schema == KERNELS_SCHEMA:
         write_kernels_summary(path, entries)
+    elif schema == TRANSFER_SCHEMA:
+        write_transfer_summary(path, entries)
     else:
         write_serving_summary(path, entries)
 

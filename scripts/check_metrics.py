@@ -10,7 +10,7 @@ tuner search counters).
 Usage: check_metrics.py <snapshot.json> [--require-fault-exec]
                         [--require-verify] [--require-serving-live]
                         [--require-backend-xval] [--require-resilience]
-                        [--require-lockorder-clean]
+                        [--require-transfer] [--require-lockorder-clean]
        check_metrics.py --dump-schema
 
 --require-fault-exec additionally requires the fault.lut.* /
@@ -38,6 +38,13 @@ resilience keys (serving.live.watchdog.*, serving.live.breaker.*,
 poison isolation / bisection / shedding counters) and the chaos.*
 injector counters, which only appear when a bench drove the resilient
 live runtime under the chaos harness (bench_chaos).
+
+--require-transfer additionally requires the transfer.* keys, which
+only appear when a bench drove the host<->PIM transfer engine — burst
+formation, the double-buffered staging scheduler, and the resident-LUT
+placement manager (bench_transfer) — and fails when no bursts were
+formed or staged, residency was never consulted, or the overlap
+fraction leaves [0, 1].
 
 --require-lockorder-clean fails when the runtime lock-order analysis
 (PIMDL_DEADLOCK_CHECK) was not enabled for the run or reported any
@@ -151,6 +158,28 @@ RESILIENCE_GAUGES = [
     "serving.live.inflight_limit",
 ]
 
+# Only present when a bench drove the host<->PIM transfer engine
+# (bench_transfer): burst formation (transfer.cc), the double-buffered
+# staging scheduler (scheduler.cc), and resident-LUT placement
+# (resident.cc).
+TRANSFER_COUNTERS = [
+    "transfer.bursts",
+    "transfer.coalesced_bytes",
+    "transfer.merged_pieces",
+    "transfer.staged_bursts",
+    "transfer.staged_bytes",
+    "transfer.stalls",
+    "transfer.corrupt_retries",
+    "transfer.resident_hits",
+    "transfer.resident_misses",
+    "transfer.evictions",
+]
+TRANSFER_GAUGES = [
+    "transfer.overlap_frac",
+    "transfer.resident_bytes",
+]
+TRANSFER_HISTOGRAMS = ["transfer.stage_wall_s"]
+
 # Published by every snapshot (obs/snapshot.cc mirrors the lock-order
 # tracker's totals unconditionally; all-zero when the detector is off).
 LOCKORDER_COUNTERS = [
@@ -238,6 +267,12 @@ SCHEMA_MODES = {
         "gauge_patterns": [],
         "histograms": VERIFY_HISTOGRAMS,
     },
+    "transfer": {
+        "counters": TRANSFER_COUNTERS,
+        "gauges": TRANSFER_GAUGES,
+        "gauge_patterns": [],
+        "histograms": TRANSFER_HISTOGRAMS,
+    },
 }
 
 
@@ -270,6 +305,7 @@ def main():
     require_serving_live = "--require-serving-live" in args
     require_backend_xval = "--require-backend-xval" in args
     require_resilience = "--require-resilience" in args
+    require_transfer = "--require-transfer" in args
     require_lockorder_clean = "--require-lockorder-clean" in args
     args = [a for a in args if not a.startswith("--require-")]
     if len(args) != 1:
@@ -277,7 +313,8 @@ def main():
             f"usage: {sys.argv[0]} <snapshot.json> "
             "[--require-fault-exec] [--require-verify] "
             "[--require-serving-live] [--require-backend-xval] "
-            "[--require-resilience] [--require-lockorder-clean] "
+            "[--require-resilience] [--require-transfer] "
+            "[--require-lockorder-clean] "
             f"| {sys.argv[0]} --dump-schema"
         )
 
@@ -384,6 +421,36 @@ def main():
                 "backend cross-validation mean relative error "
                 f"{mean_err:.4f} >= committed bound {bound:.4f}"
             )
+
+    if require_transfer:
+        for name in TRANSFER_COUNTERS:
+            if name not in snap["counters"]:
+                fail(f"missing transfer counter {name!r}")
+        for name in TRANSFER_GAUGES:
+            if name not in snap["gauges"]:
+                fail(f"missing transfer gauge {name!r}")
+        for name in TRANSFER_HISTOGRAMS:
+            hist = snap["histograms"].get(name)
+            if hist is None:
+                fail(f"missing transfer histogram {name!r}")
+            for field in HISTOGRAM_FIELDS:
+                if field not in hist:
+                    fail(f"histogram {name!r} missing field {field!r}")
+            if hist["count"] == 0:
+                fail(f"histogram {name!r} recorded no samples")
+        if snap["counters"]["transfer.bursts"] == 0:
+            fail("transfer engine formed no bursts")
+        if snap["counters"]["transfer.staged_bursts"] == 0:
+            fail("transfer scheduler staged no bursts")
+        touches = (
+            snap["counters"]["transfer.resident_hits"]
+            + snap["counters"]["transfer.resident_misses"]
+        )
+        if touches == 0:
+            fail("resident-LUT placement was never consulted")
+        overlap = snap["gauges"]["transfer.overlap_frac"]
+        if not 0 <= overlap <= 1:
+            fail(f"implausible transfer overlap fraction {overlap!r}")
 
     if require_verify:
         for name in VERIFY_COUNTERS:

@@ -19,7 +19,10 @@ violation:
    counter-based hash keyed by a `k*Stream*` integer constant; two
    constants with the same value silently correlate two supposedly
    independent fault processes. All stream constants in src/ must be
-   globally unique.
+   globally unique AND live inside the id range STREAM_ID_RANGES
+   registers for their subsystem (fault ladder 1-199, chaos harness
+   201-299, transfer engine 301-399), so new subsystems claim a block
+   instead of squatting on the next free integer.
 
 3. Raw synchronization primitives. std::mutex / std::lock_guard hide
    from both Clang's -Wthread-safety analysis and the runtime
@@ -78,7 +81,17 @@ SCHEMA_GATED_PREFIXES = [
     "chaos.",
     "fault.",
     "serving.live.",
+    "transfer.",
     "verify.",
+]
+
+# Draw-stream id registry: (path prefix, lo, hi) — every k*Stream*
+# constant must fall in the inclusive range its defining file's first
+# matching prefix claims. More specific prefixes come first.
+STREAM_ID_RANGES = [
+    ("src/transfer/", 301, 399),
+    ("src/fault/chaos", 201, 299),
+    ("src/fault/", 1, 199),
 ]
 
 # The only files allowed to touch the raw primitives: the annotated
@@ -238,7 +251,7 @@ def collect_stream_constants(dirs=("src",)):
     return constants
 
 
-def check_stream_ids(constants):
+def check_stream_ids(constants, ranges=None):
     violations = []
     by_value = {}
     by_name = {}
@@ -257,6 +270,29 @@ def check_stream_ids(constants):
             "no k*Stream constants found under src/ — the stream-id "
             "scan pattern no longer matches the tree"
         )
+    for where, name, value in constants:
+        claimed = next(
+            (
+                (prefix, lo, hi)
+                for prefix, lo, hi in (
+                    STREAM_ID_RANGES if ranges is None else ranges
+                )
+                if where.startswith(prefix)
+            ),
+            None,
+        )
+        if claimed is None:
+            violations.append(
+                f"stream constant {name} at {where} lives in a file "
+                "with no STREAM_ID_RANGES entry — register a block for "
+                "its subsystem in scripts/lint_invariants.py"
+            )
+        elif not claimed[1] <= value <= claimed[2]:
+            violations.append(
+                f"stream id {value} ({name} at {where}) is outside the "
+                f"[{claimed[1]}, {claimed[2]}] block registered for "
+                f"{claimed[0]!r}"
+            )
     return violations
 
 
@@ -323,16 +359,28 @@ def self_test():
     if check_cpp_to_schema(schema, {"real.counter"}):
         failures.append("C++->schema false positive on clean fixture")
 
+    ranges = [("src/a/", 1, 99), ("src/b/", 100, 199)]
     colliding = [
-        ("a.cc:1", "kStreamOne", 7),
-        ("b.cc:2", "kStreamTwo", 7),
+        ("src/a/a.cc:1", "kStreamOne", 7),
+        ("src/b/b.cc:2", "kStreamTwo", 7),
     ]
-    if not check_stream_ids(colliding):
+    if not check_stream_ids(colliding, ranges):
         failures.append("stream-id collision not detected")
-    if check_stream_ids(
-        [("a.cc:1", "kStreamOne", 7), ("b.cc:2", "kStreamTwo", 8)]
-    ):
+    clean = [
+        ("src/a/a.cc:1", "kStreamOne", 7),
+        ("src/b/b.cc:2", "kStreamTwo", 108),
+    ]
+    if check_stream_ids(clean, ranges):
         failures.append("stream-id false positive on unique ids")
+    out_of_range = [
+        ("src/a/a.cc:1", "kStreamOne", 150),
+        ("src/b/b.cc:2", "kStreamTwo", 108),
+    ]
+    if not check_stream_ids(out_of_range, ranges):
+        failures.append("out-of-block stream id not detected")
+    unregistered = [("src/c/c.cc:1", "kStreamThree", 7)]
+    if not check_stream_ids(unregistered, ranges):
+        failures.append("unregistered stream-id file not detected")
 
     seeded = {
         "src/runtime/bad.cc": "std::lock_guard<std::mutex> lock(mu);",

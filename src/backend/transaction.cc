@@ -541,6 +541,42 @@ TransactionBackend::simulateGemm(std::size_t n, std::size_t h,
 }
 
 TxnNodeReport
+TransactionBackend::simulateTransferBurst(TransferDirection direction,
+                                          bool lut_staging,
+                                          double bytes) const
+{
+    PIMDL_REQUIRE(bytes >= 0.0, "burst bytes must be non-negative");
+    const std::size_t cap = config_.max_cmds_per_component;
+    const BandwidthCurve &curve =
+        direction == TransferDirection::PimToHost
+            ? platform_.host_gather
+            : (lut_staging ? platform_.host_scatter
+                           : platform_.host_broadcast);
+    const TxnCommandKind kind =
+        direction == TransferDirection::PimToHost
+            ? TxnCommandKind::Gather
+            : (lut_staging ? TxnCommandKind::Scatter
+                           : TxnCommandKind::Broadcast);
+
+    // One link lane, no bank work: a pure memory-mode phase.
+    TxnSim sim(config_, 1, 1);
+    // Per-burst setup (descriptor build, rank barrier, DMA arm) —
+    // charged once no matter how many payloads the burst coalesced.
+    sim.push(sim.linkQueue(), TxnCommandKind::KernelLaunch, 0,
+             platform_.link_setup_latency_s);
+    if (bytes > 0.0) {
+        // DMA chunks at descriptor granularity; the aggregate busy
+        // time prices the whole burst at its size's curve point.
+        const double chunk_bytes = 64.0 * 1024.0;
+        const double chunks =
+            std::max(1.0, std::ceil(bytes / chunk_bytes));
+        sim.pushAll(sim.linkQueue(), kind, 0,
+                    splitBusy(bytes / curve.at(bytes), chunks, cap));
+    }
+    return sim.run(config_.record_commands);
+}
+
+TxnNodeReport
 TransactionBackend::simulateElementwise(double ew_ops,
                                         double ew_bytes) const
 {

@@ -52,6 +52,11 @@ upmemPlatform()
     // offloaded kernel; this fixed cost is what sinks small batches
     // (Figure 12-(c)).
     cfg.kernel_launch_overhead_s = 50e-3;
+    // dpu_push_xfer descriptor build + rank barrier per transfer call:
+    // ~30 us measured on the 16-rank configuration ([33] reports the
+    // per-call software overhead dominating sub-KB transfers). Paid
+    // once per coalesced burst by the transfer engine.
+    cfg.link_setup_latency_s = 30e-6;
 
     // dpu-diag reports ~13.92 W/DIMM at 350 MHz (paper Section 6.3).
     cfg.pim_static_power_w = 13.92 * 8.0;
@@ -114,6 +119,9 @@ hbmPimPlatform()
     cfg.lut_resident = true;   // LUTs live in the banks like weights.
     cfg.supports_elementwise = true; // bank-level ReLU/add/norm units.
     cfg.kernel_launch_overhead_s = 5e-6;
+    // PIM commands ride the GPU memory interface; burst setup is one
+    // command-queue doorbell, not a rank barrier.
+    cfg.link_setup_latency_s = 1e-6;
 
     cfg.pim_static_power_w = 60.0;
     cfg.host_power_w = 60.0; // NVIDIA A2 board power
@@ -153,6 +161,9 @@ aimPlatform()
     cfg.lut_resident = true;   // LUTs live in the banks like weights.
     cfg.supports_elementwise = true; // GEMV engine doubles for eltwise.
     cfg.kernel_launch_overhead_s = 5e-6;
+    // GDDR6 command-bus doorbell per burst; slightly above HBM-PIM
+    // because the 16 chips arm independently.
+    cfg.link_setup_latency_s = 2e-6;
 
     cfg.pim_static_power_w = 80.0;
     cfg.host_power_w = 60.0;

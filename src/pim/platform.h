@@ -113,6 +113,15 @@ struct PimPlatformConfig
     /** Per-kernel-launch fixed overhead, seconds. */
     double kernel_launch_overhead_s = 40e-6;
 
+    /**
+     * Fixed per-burst setup cost of one host<->PIM transfer, seconds:
+     * descriptor build, rank synchronization, and DMA arm. The transfer
+     * engine (src/transfer) charges this once per coalesced burst, so
+     * merging K adjacent payloads saves (K-1) setups on top of the
+     * higher point reached on the bandwidth curve.
+     */
+    double link_setup_latency_s = 2e-6;
+
     /** Static power of the whole PIM subsystem, watts. */
     double pim_static_power_w = 110.0;
     /** Busy power of the attached host processor, watts. */

@@ -102,9 +102,15 @@ lowerTransformer(const TransformerConfig &model, const LutNnParams &params,
             up.direction = TransferDirection::HostToPim;
             up.transfer_bytes = shape.indexBytes();
             if (platform && !platform->lut_resident) {
-                up.transfer_bytes += static_cast<double>(shape.cb) *
+                // Static LUT re-staging rides the same up-transfer but
+                // carries no data dependency on the forward chain; the
+                // transfer engine keys coalescing and resident
+                // placement off this split (src/transfer).
+                up.lut_stage_bytes = static_cast<double>(shape.cb) *
                                      shape.ct * shape.f *
                                      platform->lut_dtype_bytes;
+                up.resident_eligible = true;
+                up.transfer_bytes += up.lut_stage_bytes;
             }
 
             PlanNode &lut =

@@ -173,6 +173,14 @@ FunctionalTransformer::forward(const Tensor &tokens, std::size_t seq_len,
         options.platform = &platform_;
     const Plan plan = lowerTransformer(model, params, mode, options);
 
+    // Fresh transfer accounting for this forward pass.
+    if (backend == LinearBackendKind::PimLut) {
+        MutexLock lock(transfer_mu_);
+        last_transfer_ = TransferReport{};
+        last_pim_model_s_ = 0.0;
+        last_pim_engine_s_ = 0.0;
+    }
+
     // Walker state: `x` is the residual stream, `cur` the most recent
     // operator output, `idx` the pending CCS result for the PIM path.
     Tensor x = tokens;
@@ -200,11 +208,45 @@ FunctionalTransformer::forward(const Tensor &tokens, std::size_t seq_len,
                 // deploys, so the PimLut backend is bit-comparable.
                 cur = lut.forwardQuantized(cur);
             } else {
+                // Stable per-table residency key: (layer, role).
+                LutTransferContext ctx;
+                ctx.scheduler = transfer_scheduler_;
+                ctx.resident = resident_luts_;
+                ctx.resident_key =
+                    (static_cast<std::uint64_t>(node.layer) << 2) |
+                    static_cast<std::uint64_t>(roleIndex(node.role));
+                ctx.stage_waves = stage_waves_;
+                const bool engine = transfer_scheduler_ != nullptr ||
+                                    resident_luts_ != nullptr;
                 const DistributedLutResult result = runDistributedLut(
                     platform_, lut, idx,
                     mappings_[node.layer][roleIndex(node.role)],
-                    /*quantized=*/true);
+                    /*quantized=*/true, nullptr, {},
+                    engine ? &ctx : nullptr);
                 cur = result.output;
+                {
+                    MutexLock lock(transfer_mu_);
+                    last_transfer_.bursts += result.transfer.bursts;
+                    last_transfer_.staged_bytes +=
+                        result.transfer.staged_bytes;
+                    last_transfer_.transfer_model_s +=
+                        result.transfer.transfer_model_s;
+                    last_transfer_.hidden_model_s +=
+                        result.transfer.hidden_model_s;
+                    last_transfer_.saved_stage_s +=
+                        result.transfer.saved_stage_s;
+                    last_transfer_.resident_hits +=
+                        result.transfer.resident_hits;
+                    last_transfer_.resident_misses +=
+                        result.transfer.resident_misses;
+                    last_transfer_.stalls += result.transfer.stalls;
+                    last_transfer_.corrupt_retries +=
+                        result.transfer.corrupt_retries;
+                    last_transfer_.burst_added_s +=
+                        result.transfer.burst_added_s;
+                    last_pim_model_s_ += result.modelSeconds();
+                    last_pim_engine_s_ += result.engineSeconds();
+                }
             }
             break;
         }
@@ -312,6 +354,38 @@ FunctionalTransformer::planPimExecution(const PimPlatformConfig &platform,
         }
     }
     pim_planned_ = true;
+}
+
+void
+FunctionalTransformer::enableTransferEngine(
+    transfer::TransferScheduler *scheduler,
+    transfer::ResidentLutManager *resident, std::size_t stage_waves)
+{
+    PIMDL_REQUIRE(stage_waves > 0, "stage_waves must be positive");
+    transfer_scheduler_ = scheduler;
+    resident_luts_ = resident;
+    stage_waves_ = stage_waves;
+}
+
+TransferReport
+FunctionalTransformer::lastTransferReport() const
+{
+    MutexLock lock(transfer_mu_);
+    return last_transfer_;
+}
+
+double
+FunctionalTransformer::lastPimModelSeconds() const
+{
+    MutexLock lock(transfer_mu_);
+    return last_pim_model_s_;
+}
+
+double
+FunctionalTransformer::lastPimEngineSeconds() const
+{
+    MutexLock lock(transfer_mu_);
+    return last_pim_engine_s_;
 }
 
 } // namespace pimdl

@@ -101,6 +101,25 @@ class FunctionalTransformer
     void planPimExecution(const PimPlatformConfig &platform,
                           std::size_t rows);
 
+    /**
+     * Routes PimLut host->PIM movement through the transfer engine:
+     * double-buffered index waves via @p scheduler and resident-LUT
+     * placement via @p resident (either may be nullptr to disable that
+     * half). Each (layer, role) LUT table gets a stable resident key.
+     * Call after planPimExecution; pass nullptrs to detach.
+     */
+    void enableTransferEngine(transfer::TransferScheduler *scheduler,
+                              transfer::ResidentLutManager *resident,
+                              std::size_t stage_waves = 4);
+
+    /** Aggregated transfer-engine outcome of the last forward(). */
+    TransferReport lastTransferReport() const;
+
+    /** Summed modeled seconds of the last forward()'s LUT ops:
+     * analytical baseline and transfer-engine pricing. */
+    double lastPimModelSeconds() const;
+    double lastPimEngineSeconds() const;
+
     /** True once convertToLut has run. */
     bool converted() const { return !luts_.empty(); }
 
@@ -113,6 +132,18 @@ class FunctionalTransformer
     PimPlatformConfig platform_;
     bool pim_planned_ = false;
     std::vector<std::array<LutMapping, 4>> mappings_;
+
+    /** Transfer engine hookup (set by enableTransferEngine). */
+    transfer::TransferScheduler *transfer_scheduler_ = nullptr;
+    transfer::ResidentLutManager *resident_luts_ = nullptr;
+    std::size_t stage_waves_ = 4;
+    /** Guards the per-forward accumulators: serving workers may run
+     * forward() concurrently on one shared transformer. */
+    mutable Mutex transfer_mu_{"runtime.transformer.transfer"};
+    mutable TransferReport last_transfer_ PIMDL_GUARDED_BY(transfer_mu_);
+    mutable double last_pim_model_s_ PIMDL_GUARDED_BY(transfer_mu_) = 0.0;
+    mutable double last_pim_engine_s_ PIMDL_GUARDED_BY(transfer_mu_) =
+        0.0;
 
     /** Exact dense GEMM of one linear role. */
     Tensor denseLinear(std::size_t layer, LinearRole role,

@@ -1,5 +1,6 @@
 #include "lut_executor.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/parallel.h"
@@ -7,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/schedule.h"
+#include "transfer/layout.h"
 #include "verify/verify.h"
 
 namespace pimdl {
@@ -54,7 +56,8 @@ DistributedLutResult
 runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
                   const IndexMatrix &indices, const LutMapping &mapping,
                   bool quantized, const FaultInjector *faults,
-                  const RetryPolicy &retry)
+                  const RetryPolicy &retry,
+                  const LutTransferContext *transfer_ctx)
 {
     const LutWorkloadShape shape = lutShapeFor(layer, indices.rows);
     std::string reason;
@@ -116,19 +119,23 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
     kernels::recordLutWork(shape.n, cb, mapping.fs_tile,
                            quantized ? sizeof(std::int8_t)
                                      : sizeof(float));
-    const auto computeTile = [&](float *dst, std::size_t stride,
-                                 std::size_t g, std::size_t l) {
-        const std::size_t row0 = g * mapping.ns_tile;
+    // Reduces @p nrows index rows starting at idx0 (stride idx_stride)
+    // against lane l's LUT columns. The index base is a parameter so
+    // the same kernel loop runs against the host tensor directly or
+    // against a wave's staged copy — identical u16 values either way,
+    // which is what makes the staged path bit-exact.
+    const auto computeRows = [&](const std::uint16_t *idx0,
+                                 std::size_t idx_stride,
+                                 std::size_t nrows, float *dst,
+                                 std::size_t stride, std::size_t l) {
         const std::size_t col0 = l * mapping.fs_tile;
-        const std::uint16_t *idx0 =
-            indices.data.data() + row0 * indices.cols;
         if (quantized) {
             // INT8 LUT entries, INT32 on-PE accumulators; the host
             // dequantizes after gathering.
             const float scale = layer.quantScale();
             std::vector<std::int32_t> acc(mapping.fs_tile);
-            for (std::size_t r = 0; r < mapping.ns_tile; ++r) {
-                kt.lut_accum_i8(idx0 + r * indices.cols, cb, shape.ct,
+            for (std::size_t r = 0; r < nrows; ++r) {
+                kt.lut_accum_i8(idx0 + r * idx_stride, cb, shape.ct,
                                 layer.quantLutData(), shape.f, col0,
                                 mapping.fs_tile, acc.data());
                 float *row = dst + r * stride;
@@ -136,19 +143,166 @@ runDistributedLut(const PimPlatformConfig &platform, const LutLayer &layer,
                     row[fcol] = static_cast<float>(acc[fcol]) * scale;
             }
         } else {
-            for (std::size_t r = 0; r < mapping.ns_tile; ++r) {
-                kt.lut_accum_f32(idx0 + r * indices.cols, cb, shape.ct,
+            for (std::size_t r = 0; r < nrows; ++r) {
+                kt.lut_accum_f32(idx0 + r * idx_stride, cb, shape.ct,
                                  layer.lutData(), shape.f, col0,
                                  mapping.fs_tile, dst + r * stride);
             }
         }
     };
 
+    const auto computeTile = [&](float *dst, std::size_t stride,
+                                 std::size_t g, std::size_t l) {
+        computeRows(indices.data.data() +
+                        g * mapping.ns_tile * indices.cols,
+                    indices.cols, mapping.ns_tile, dst, stride, l);
+    };
+
     const auto outTilePtr = [&](std::size_t g, std::size_t l) {
         return out.rowPtr(g * mapping.ns_tile) + l * mapping.fs_tile;
     };
 
-    if (faults == nullptr) {
+    // ---- Transfer engine: resident-LUT placement -------------------
+    // On offload-model platforms every launch re-stages the LUT unless
+    // the placement manager says the table is already pinned in the
+    // banks; a hit removes t_sub_lut from the engine's modeled time, a
+    // miss pays one real scatter burst (packed in WRAM tile order).
+    const bool engine_on =
+        transfer_ctx != nullptr && transfer_ctx->scheduler != nullptr;
+    if (transfer_ctx != nullptr && !platform.lut_resident) {
+        const double lut_model_bytes = static_cast<double>(shape.cb) *
+                                       static_cast<double>(shape.ct) *
+                                       static_cast<double>(shape.f) *
+                                       platform.lut_dtype_bytes;
+        bool hit = false;
+        if (transfer_ctx->resident != nullptr) {
+            hit = transfer_ctx->resident->touch(
+                transfer_ctx->resident_key, lut_model_bytes);
+            if (hit) {
+                ++result.transfer.resident_hits;
+                result.transfer.saved_stage_s += result.cost.t_sub_lut;
+            } else {
+                ++result.transfer.resident_misses;
+            }
+        }
+        if (!hit && engine_on) {
+            // Scatter-stage the table: each lane's fs_tile columns
+            // land contiguously, the layout its WRAM kernel consumes.
+            const std::size_t elem =
+                quantized ? sizeof(std::int8_t) : sizeof(float);
+            const std::size_t lut_rows = shape.cb * shape.ct;
+            const void *table =
+                quantized ? static_cast<const void *>(layer.quantLutData())
+                          : static_cast<const void *>(layer.lutData());
+            auto lut_chan = transfer_ctx->scheduler->openChannel(
+                "transfer.lut.tables");
+            transfer::StageRequest req;
+            req.bytes = lut_rows * shape.f * elem;
+            req.modeled_seconds = result.cost.t_sub_lut;
+            req.fill = [&, table, lut_rows, elem](std::uint8_t *dst,
+                                                  std::size_t) {
+                transfer::packColumnTiles(table, lut_rows, shape.f,
+                                          mapping.fs_tile, elem, dst);
+            };
+            const std::size_t ticket = lut_chan->stage(std::move(req));
+            lut_chan->wait(ticket);
+            const transfer::StagedBurstReport br =
+                lut_chan->report(ticket);
+            lut_chan->release(ticket);
+            ++result.transfer.bursts;
+            result.transfer.staged_bytes +=
+                static_cast<double>(lut_rows * shape.f * elem);
+            result.transfer.transfer_model_s += result.cost.t_sub_lut;
+            result.transfer.stalls += br.stalls;
+            result.transfer.corrupt_retries += br.corrupt_retries;
+            result.transfer.burst_added_s += br.added_seconds;
+        }
+    }
+
+    if (faults == nullptr && engine_on) {
+        // ---- Transfer engine: double-buffered wave broadcast -------
+        // The index broadcast is split into stage_waves row chunks;
+        // wave w's staged fill runs on the transfer thread while the
+        // lock-step PEs reduce wave w-1, so all but the first wave's
+        // transfer hides behind compute (up to the shorter of the two
+        // per-wave times — the classic double-buffer bound).
+        const std::size_t waves = std::max<std::size_t>(
+            1, std::min(transfer_ctx->stage_waves, mapping.ns_tile));
+        const std::size_t rpw = (mapping.ns_tile + waves - 1) / waves;
+        const auto waveRow0 = [&](std::size_t w) { return w * rpw; };
+        const auto waveRows = [&](std::size_t w) {
+            return std::min(rpw, mapping.ns_tile - waveRow0(w));
+        };
+        const double micro_s = result.cost.microKernelTotal();
+        const double ns_total = static_cast<double>(mapping.ns_tile);
+
+        auto chan = transfer_ctx->scheduler->openChannel(
+            "transfer.lut.indices");
+        const auto stageWave = [&](std::size_t w) {
+            const std::size_t nrows = waveRows(w);
+            transfer::StageRequest req;
+            req.bytes =
+                groups * nrows * indices.cols * sizeof(std::uint16_t);
+            req.modeled_seconds = result.cost.t_sub_index *
+                                  static_cast<double>(nrows) / ns_total;
+            req.fill = [&, w, nrows](std::uint8_t *dst, std::size_t) {
+                transfer::packWaveRows(indices.data.data(), groups,
+                                       mapping.ns_tile, waveRow0(w),
+                                       nrows, indices.cols,
+                                       sizeof(std::uint16_t), dst);
+            };
+            return chan->stage(std::move(req));
+        };
+
+        std::size_t tickets[2];
+        tickets[0] = stageWave(0);
+        double prev_compute_s = 0.0;
+        for (std::size_t w = 0; w < waves; ++w) {
+            const std::size_t nrows = waveRows(w);
+            const double frac = static_cast<double>(nrows) / ns_total;
+            const double wave_transfer_s =
+                result.cost.t_sub_index * frac;
+            const std::vector<std::uint8_t> &buf =
+                chan->wait(tickets[w % 2]);
+            // Fill of wave w+1 proceeds on the transfer thread while
+            // this wave computes below — the overlap itself.
+            if (w + 1 < waves)
+                tickets[(w + 1) % 2] = stageWave(w + 1);
+            const auto *staged =
+                reinterpret_cast<const std::uint16_t *>(buf.data());
+            parallelFor(groups * lanes, [&](std::size_t pe) {
+                const std::size_t g = pe / lanes;
+                const std::size_t l = pe % lanes;
+                computeRows(staged + g * nrows * indices.cols,
+                            indices.cols, nrows,
+                            out.rowPtr(g * mapping.ns_tile +
+                                       waveRow0(w)) +
+                                l * mapping.fs_tile,
+                            out.cols(), l);
+            });
+            const transfer::StagedBurstReport br =
+                chan->report(tickets[w % 2]);
+            chan->release(tickets[w % 2]);
+            ++result.transfer.bursts;
+            result.transfer.staged_bytes += static_cast<double>(
+                groups * nrows * indices.cols * sizeof(std::uint16_t));
+            result.transfer.transfer_model_s += wave_transfer_s;
+            result.transfer.stalls += br.stalls;
+            result.transfer.corrupt_retries += br.corrupt_retries;
+            result.transfer.burst_added_s += br.added_seconds;
+            // Wave w's transfer (w >= 1) hid behind wave w-1's
+            // compute: at most the shorter of the two modeled times.
+            if (w > 0)
+                result.transfer.hidden_model_s +=
+                    std::min(wave_transfer_s, prev_compute_s);
+            prev_compute_s = micro_s * frac;
+        }
+
+        static obs::Gauge &g_overlap =
+            reg.gauge("transfer.overlap_frac");
+        g_overlap.set(result.transfer.overlapFrac());
+        span.attr("transfer_hidden_s", result.transfer.hidden_model_s);
+    } else if (faults == nullptr) {
         // Fault-free fast path: each simulated PE (group g, lane l)
         // reduces its own tile straight into the output.
         parallelFor(groups * lanes, [&](std::size_t pe) {

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Scatter/gather layout transforms between host row-major tensors and
+ * the per-PE tile order the DPU WRAM kernels consume.
+ *
+ * A host->PIM scatter delivers each PE one contiguous block, so the
+ * host must pre-pack strided slices (a lane's fs_tile columns of every
+ * LUT row, or each group's row-slice of a wave) into lane-major /
+ * group-major staging order before the DMA; the PIM->host gather is the
+ * inverse. These are the memcpy-with-stride kernels the transfer
+ * engine's staging fills run on the transfer thread — the packing cost
+ * is exactly what double-buffering hides behind PE compute.
+ *
+ * All transforms are pure byte permutations: pack followed by unpack is
+ * the identity (tested), which is what keeps the staged execution path
+ * bit-exact against the unstaged one.
+ */
+
+#ifndef PIMDL_TRANSFER_LAYOUT_H
+#define PIMDL_TRANSFER_LAYOUT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pimdl {
+namespace transfer {
+
+/**
+ * Packs a row-major (rows x cols) matrix of @p elem_bytes elements
+ * into column-tile-major order: lane l's tile (all rows, columns
+ * [l*tile_width, (l+1)*tile_width)) becomes one contiguous block —
+ * the scatter order of per-lane LUT tiles and gathered output tiles.
+ * @p cols must be a multiple of @p tile_width; @p dst holds
+ * rows*cols*elem_bytes bytes.
+ */
+void packColumnTiles(const void *src, std::size_t rows, std::size_t cols,
+                     std::size_t tile_width, std::size_t elem_bytes,
+                     void *dst);
+
+/** Inverse of packColumnTiles (the host-side gather unpack). */
+void unpackColumnTiles(const void *src, std::size_t rows,
+                       std::size_t cols, std::size_t tile_width,
+                       std::size_t elem_bytes, void *dst);
+
+/**
+ * Gathers one wave's row slice of every group into group-major staging
+ * order: for each group g in [0, groups), rows [g*group_rows + row0,
+ * g*group_rows + row0 + wave_rows) of the row-major (groups*group_rows
+ * x cols) source land contiguously at dst block g. This is the
+ * broadcast staging layout of a double-buffered index wave; PE (g, l)
+ * reads its rows at dst + g*wave_rows*cols elements.
+ */
+void packWaveRows(const void *src, std::size_t groups,
+                  std::size_t group_rows, std::size_t row0,
+                  std::size_t wave_rows, std::size_t cols,
+                  std::size_t elem_bytes, void *dst);
+
+} // namespace transfer
+} // namespace pimdl
+
+#endif // PIMDL_TRANSFER_LAYOUT_H
